@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Bfs Charm Engine Gups Harness List Util Workload_result Workloads

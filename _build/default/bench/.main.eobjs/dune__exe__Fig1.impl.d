@@ -1,0 +1,1 @@
+bench/fig1.ml: Dataset Dimmwitted Exec_env Float Harness List Sgd Streamcluster Util Workload_result Workloads

@@ -1,0 +1,1 @@
+bench/fig10.ml: Harness List Printf Util

@@ -1,0 +1,1 @@
+bench/fig11.ml: Dataset Dimmwitted Exec_env Harness List Sgd Util Workloads

@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Dataset Engine Exec_env Float Harness List Sgd Util Workload_result Workloads

@@ -1,0 +1,1 @@
+bench/fig13.ml: Charm Harness List Olap Util Workloads

@@ -1,0 +1,1 @@
+bench/fig14.ml: Float Harness List Oltp Util

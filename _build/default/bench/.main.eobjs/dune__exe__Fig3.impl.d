@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Chipsim Latency List Presets Topology Util

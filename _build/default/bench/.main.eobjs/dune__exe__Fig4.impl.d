@@ -1,0 +1,1 @@
+bench/fig4.ml: List Util

@@ -1,0 +1,1 @@
+bench/fig5.ml: Engine Exec_env Harness List Printf Util Workloads

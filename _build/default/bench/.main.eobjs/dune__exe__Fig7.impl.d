@@ -1,0 +1,1 @@
+bench/fig7.ml: Float Harness List Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig1 Fig10 Fig11 Fig12 Fig13 Fig14 Fig3 Fig4 Fig5 Fig7 Fig8 Fig9 List Micro Printf String Sys Tab1 Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Cache Charm Chipsim Engine Hashtbl Instance Latency List Machine Measure Presets Staged Test Time Toolkit Util

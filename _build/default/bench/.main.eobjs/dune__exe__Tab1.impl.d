@@ -1,0 +1,1 @@
+bench/tab1.ml: Engine Harness List Util

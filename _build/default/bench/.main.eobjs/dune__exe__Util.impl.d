@@ -1,0 +1,1 @@
+bench/util.ml: Bfs Concomp Csr Exec_env Graph500 Gups Harness Hashtbl Kronecker Pagerank Printf Sssp String Workload_result Workloads

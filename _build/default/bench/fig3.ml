@@ -1,0 +1,35 @@
+(* Fig. 3: CDF of core-to-core latency on the AMD model.  The paper reports
+   three steps within a NUMA node: ~25 ns intra-chiplet, 80-90 ns
+   inter-chiplet intra-quadrant, beyond 150 ns across quadrants, with
+   cross-socket slowest. *)
+
+open Chipsim
+
+let run () =
+  Util.section "Fig. 3 - core-to-core latency CDF (AMD EPYC Milan model)";
+  let topo = Presets.amd_milan () in
+  let n = Topology.num_cores topo in
+  let lats = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      lats := Latency.core_to_core_ns topo a b :: !lats
+    done
+  done;
+  let arr = Array.of_list !lats in
+  Array.sort compare arr;
+  let total = Array.length arr in
+  Util.subsection "percentiles";
+  List.iter
+    (fun p ->
+      let idx = min (total - 1) (p * total / 100) in
+      Util.row "  p%-3d  %7.1f ns\n" p arr.(idx))
+    [ 1; 5; 10; 25; 50; 75; 90; 95; 99 ];
+  Util.subsection "latency steps (within-NUMA groups of paper Fig. 3)";
+  let count pred = Array.fold_left (fun acc l -> if pred l then acc + 1 else acc) 0 arr in
+  let share pred = 100.0 *. float_of_int (count pred) /. float_of_int total in
+  Util.row "  intra-chiplet   (<= 30 ns) : %5.1f%% of pairs\n" (share (fun l -> l <= 30.0));
+  Util.row "  intra-quadrant  (80-95 ns) : %5.1f%% of pairs\n"
+    (share (fun l -> l > 80.0 && l <= 95.0));
+  Util.row "  cross-quadrant (150-170 ns): %5.1f%% of pairs\n"
+    (share (fun l -> l >= 150.0 && l <= 170.0));
+  Util.row "  cross-socket    (>= 215 ns): %5.1f%% of pairs\n" (share (fun l -> l >= 215.0))

@@ -1,0 +1,24 @@
+(* Fig. 4: cores vs. memory channels in high-end server CPUs over the
+   years — the industry data motivating §2.2 (static, from public specs). *)
+
+let data =
+  [
+    (2010, "Xeon X7560 / Opteron 6174", 8, 4);
+    (2012, "Xeon E5-2690", 8, 4);
+    (2014, "Xeon E5-2699 v3", 18, 4);
+    (2017, "EPYC Naples 7601", 32, 8);
+    (2019, "EPYC Rome 7742", 64, 8);
+    (2021, "EPYC Milan 7713", 64, 8);
+    (2023, "EPYC Genoa 9654", 96, 12);
+    (2024, "EPYC Bergamo 9754", 128, 12);
+    (2026, "(projected)", 300, 16);
+  ]
+
+let run () =
+  Util.section "Fig. 4 - cores vs. memory channels over the years";
+  Util.row "  %-6s %-26s %6s %9s %12s\n" "year" "part" "cores" "channels" "cores/chan";
+  List.iter
+    (fun (year, part, cores, channels) ->
+      Util.row "  %-6d %-26s %6d %9d %12.1f\n" year part cores channels
+        (float_of_int cores /. float_of_int channels))
+    data

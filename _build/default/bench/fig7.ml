@@ -1,0 +1,36 @@
+(* Fig. 7: graph-processing + random-access scalability on the AMD model:
+   six workloads, CHARM vs RING / AsymSched / SAM across core counts.
+   Paper shape: CHARM near-linear to 64 cores, baselines saturate around
+   48-56, CHARM 1.8-2.3x at 64 cores and 2-2.8x beyond 96. *)
+
+module Sys_ = Harness.Systems
+
+let systems = [ Sys_.Charm; Sys_.Ring; Sys_.Asymsched; Sys_.Sam ]
+let core_counts = [ 8; 16; 32; 48; 64; 96; 128 ]
+
+let run_one bench =
+  Util.subsection (Util.graph_bench_name bench);
+  Util.row "  %-6s" "cores";
+  List.iter (fun sys -> Util.row " %12s" (Util.sys_label sys)) systems;
+  Util.row " %10s\n" "charm/best";
+  List.iter
+    (fun workers ->
+      let tps =
+        List.map
+          (fun sys ->
+            fst (Util.run_graph_bench ~sys ~kind:Sys_.Amd_milan ~workers bench))
+          systems
+      in
+      Util.row "  %-6d" workers;
+      List.iter (fun t -> Util.row " %12s" (Util.pp_throughput t)) tps;
+      (match tps with
+      | charm :: rest ->
+          let best = List.fold_left Float.max 0.0 rest in
+          Util.row " %9.2fx\n" (charm /. best)
+      | [] -> Util.row "\n"))
+    core_counts
+
+let run () =
+  Util.section "Fig. 7 - graph + random-access scalability (AMD model)";
+  Util.row "  (throughput: edges/s for graphs, updates/s for GUPS)\n";
+  List.iter run_one Util.all_graph_benches

@@ -1,0 +1,46 @@
+(* Bench driver: regenerates every table and figure of the paper's
+   evaluation.  Run with no arguments for the full suite, or pass
+   experiment names (fig1 fig3 fig4 fig5 fig7 tab1 fig8 fig9 tab2 fig10
+   fig11 fig12 fig13 fig14 ablation micro) to run a subset. *)
+
+let experiments =
+  [
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig7", Fig7.run);
+    ("tab1", Tab1.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("tab2", Fig9.run_tab2);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig1", Fig1.run);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+          let start = Unix.gettimeofday () in
+          run ();
+          Printf.printf "  [%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. start)
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested;
+  Printf.printf "\nAll requested experiments finished in %.1fs.\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,26 @@
+(* Tab. 1: chiplet access classes, CHARM vs RING at 64 cores.  Paper
+   shape: CHARM's remote-NUMA-chiplet fills are orders of magnitude below
+   RING's, and its local-chiplet hits well above. *)
+
+module Sys_ = Harness.Systems
+
+let run () =
+  Util.section "Tab. 1 - chiplet accesses at 64 cores, CHARM vs RING";
+  Util.row "  %-10s %15s %15s %15s %15s\n" "workload" "rmtNUMA(charm)"
+    "rmtNUMA(ring)" "local(charm)" "local(ring)";
+  List.iter
+    (fun bench ->
+      let counts sys =
+        let _tp, inst =
+          Util.run_graph_bench ~sys ~kind:Sys_.Amd_milan ~workers:64 bench
+        in
+        let r = Harness.Systems.report inst in
+        ( r.Engine.Stats.accesses.Engine.Stats.remote_numa,
+          r.Engine.Stats.accesses.Engine.Stats.local_chiplet )
+      in
+      let charm_numa, charm_local = counts Sys_.Charm in
+      let ring_numa, ring_local = counts Sys_.Ring in
+      Util.row "  %-10s %15d %15d %15d %15d\n"
+        (Util.graph_bench_name bench)
+        charm_numa ring_numa charm_local ring_local)
+    Util.all_graph_benches

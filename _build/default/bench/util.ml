@@ -1,0 +1,91 @@
+(* Shared bench machinery: build environments, run the six graph-suite
+   workloads, format paper-style tables. *)
+
+open Workloads
+module Sys_ = Harness.Systems
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+(* Default evaluation scale: graphs at 2^13 vertices with caches scaled
+   1:16 keep the paper's working-set : L3 ratio at tractable runtime. *)
+let default_cache_scale = 16
+let default_graph_scale = 14
+
+type graph_bench = Bfs | Pr | Cc | Sssp | Gups_w | G500
+
+let graph_bench_name = function
+  | Bfs -> "BFS"
+  | Pr -> "PR"
+  | Cc -> "CC"
+  | Sssp -> "SSSP"
+  | Gups_w -> "GUPS"
+  | G500 -> "Graph500"
+
+let all_graph_benches = [ Bfs; Pr; Cc; Sssp; Gups_w; G500 ]
+
+(* Edge lists are deterministic per scale; cache them across systems so
+   every system sees the same graph. *)
+let kron_cache : (int, Kronecker.t) Hashtbl.t = Hashtbl.create 8
+
+let kron ~scale =
+  match Hashtbl.find_opt kron_cache scale with
+  | Some k -> k
+  | None ->
+      let k = Kronecker.generate ~scale ~edge_factor:16 () in
+      Hashtbl.add kron_cache scale k;
+      k
+
+let build_graph env ~scale ~weighted =
+  Csr.of_kronecker ~weighted
+    ~alloc:(fun ~elt_bytes ~count -> env.Exec_env.alloc_shared ~elt_bytes ~count)
+    (kron ~scale)
+
+(* a BFS/SSSP source must not be isolated (vertex 0 can be, after the
+   Graph500 label permutation) *)
+let pick_source g =
+  let rec go v = if v >= g.Csr.n || Csr.degree g v > 0 then min v (g.Csr.n - 1) else go (v + 1) in
+  go 0
+
+(* Throughput of one graph-suite workload in work-items per second of
+   virtual time (edges/s for the graph algorithms, updates/s for GUPS). *)
+let run_graph_bench ?(cache_scale = default_cache_scale)
+    ?(graph_scale = default_graph_scale) ~sys ~kind ~workers bench =
+  let inst = Sys_.make ~cache_scale sys kind ~n_workers:workers () in
+  let env = inst.Sys_.env in
+  let result =
+    match bench with
+    | Bfs ->
+        let g = build_graph env ~scale:graph_scale ~weighted:false in
+        snd (Bfs.run env g ~source:(pick_source g))
+    | Pr ->
+        let g = build_graph env ~scale:graph_scale ~weighted:false in
+        snd (Pagerank.run env g ())
+    | Cc ->
+        let g = build_graph env ~scale:graph_scale ~weighted:false in
+        snd (Concomp.run env g)
+    | Sssp ->
+        let g = build_graph env ~scale:graph_scale ~weighted:true in
+        snd (Sssp.run env g ~source:(pick_source g))
+    | Gups_w ->
+        (* table size tracks the graph scale, as the paper's Fig. 10 sweep
+           controls the number of vertices *)
+        Gups.run env
+          { Gups.table_words = 1 lsl (graph_scale + 6); updates = 1 lsl 16; seed = 17 }
+    | G500 ->
+        let g = build_graph env ~scale:graph_scale ~weighted:false in
+        Graph500.run env g
+          { Graph500.scale = graph_scale; edge_factor = 16; roots = 2; seed = 99 }
+  in
+  (Workload_result.throughput_per_s result, inst)
+
+let sys_label sys = Sys_.sys_name sys
+
+let pp_throughput t =
+  if t >= 1e9 then Printf.sprintf "%.2fG" (t /. 1e9)
+  else if t >= 1e6 then Printf.sprintf "%.2fM" (t /. 1e6)
+  else Printf.sprintf "%.0fk" (t /. 1e3)

@@ -1,0 +1,138 @@
+(* charm_run: run one workload under one runtime system on one simulated
+   machine and print throughput plus the chiplet-level access breakdown.
+
+   Examples:
+     charm_run -w bfs -s charm -n 64
+     charm_run -w tpch -q 3 -s ring -n 8
+     charm_run -w ycsb -s distributed-cache -n 32 -m amd --cache-scale 32 *)
+
+open Cmdliner
+module Sys_ = Harness.Systems
+
+let systems =
+  [
+    ("charm", Sys_.Charm);
+    ("charm-async", Sys_.Charm_os_threads);
+    ("ring", Sys_.Ring);
+    ("dw-native", Sys_.Dw_native);
+    ("shoal", Sys_.Shoal);
+    ("asymsched", Sys_.Asymsched);
+    ("sam", Sys_.Sam);
+    ("os-default", Sys_.Os_default);
+    ("local-cache", Sys_.Local_cache);
+    ("distributed-cache", Sys_.Distributed_cache);
+  ]
+
+let machines =
+  [ ("amd", Sys_.Amd_milan); ("amd1s", Sys_.Amd_milan_1s); ("intel", Sys_.Intel_spr) ]
+
+let workloads =
+  [ "bfs"; "pr"; "cc"; "sssp"; "gups"; "graph500"; "streamcluster"; "sgd";
+    "tpch"; "ycsb"; "tpcc" ]
+
+let run_workload env inst ~workload ~graph_scale ~query =
+  let open Workloads in
+  let alloc ~elt_bytes ~count = env.Exec_env.alloc_shared ~elt_bytes ~count in
+  let graph ~weighted =
+    Csr.of_kronecker ~weighted ~alloc
+      (Kronecker.generate ~scale:graph_scale ~edge_factor:16 ())
+  in
+  let source g =
+    let rec go v = if v >= g.Csr.n - 1 || Csr.degree g v > 0 then v else go (v + 1) in
+    go 0
+  in
+  (match workload with
+  | "bfs" ->
+      let g = graph ~weighted:false in
+      let _, r = Bfs.run env g ~source:(source g) in
+      Printf.printf "BFS: %.3e edges/s\n" (Workload_result.throughput_per_s r)
+  | "pr" ->
+      let g = graph ~weighted:false in
+      let _, r = Pagerank.run env g () in
+      Printf.printf "PageRank: %.3e edge-updates/s\n" (Workload_result.throughput_per_s r)
+  | "cc" ->
+      let g = graph ~weighted:false in
+      let _, r = Concomp.run env g in
+      Printf.printf "CC: %.3e edges/s\n" (Workload_result.throughput_per_s r)
+  | "sssp" ->
+      let g = graph ~weighted:true in
+      let _, r = Sssp.run env g ~source:(source g) in
+      Printf.printf "SSSP: %.3e relaxations/s\n" (Workload_result.throughput_per_s r)
+  | "gups" ->
+      let r = Gups.run env Gups.default_params in
+      Printf.printf "GUPS: %.4f giga-updates/s\n" (Gups.gups r)
+  | "graph500" ->
+      let g = graph ~weighted:false in
+      let r = Graph500.run env g { Graph500.default_params with Graph500.scale = graph_scale } in
+      Printf.printf "Graph500: %.3e TEPS\n" (Graph500.teps r)
+  | "streamcluster" ->
+      let o = Streamcluster.run env Streamcluster.default_params in
+      Printf.printf "Streamcluster: %.3e point-center evals/s (cost %.1f, %d centers)\n"
+        (Workload_result.throughput_per_s o.Streamcluster.result)
+        o.Streamcluster.total_cost o.Streamcluster.centers_opened
+  | "sgd" ->
+      let data = Dataset.generate ~alloc ~samples:1024 ~features:1024 () in
+      let o = Dimmwitted.run env ~replica:Sgd.Per_node data in
+      Format.printf "%a@." Dimmwitted.pp o
+  | "tpch" ->
+      let data = Olap.Tpch_data.generate ~alloc ~sf:0.01 () in
+      let qs = match query with Some q -> [ q ] | None -> Olap.Tpch_queries.query_numbers in
+      List.iter
+        (fun q ->
+          let r, t = Olap.Tpch_queries.execute env data q in
+          Printf.printf "Q%-2d: %8.3f ms  checksum %.6e (%d groups)\n" q (t /. 1e6)
+            r.Olap.Tpch_queries.checksum r.Olap.Tpch_queries.rows_out)
+        qs
+  | "ycsb" ->
+      let o = Oltp.Ycsb.run env Oltp.Ycsb.default_params in
+      Printf.printf "YCSB: %.3e commits/s (%d commits)\n" o.Oltp.Ycsb.commits_per_second
+        o.Oltp.Ycsb.commits
+  | "tpcc" ->
+      let o = Oltp.Tpcc.run env Oltp.Tpcc.default_params in
+      Printf.printf "TPC-C: %.3e commits/s (%d new orders)\n"
+        o.Oltp.Tpcc.commits_per_second o.Oltp.Tpcc.new_orders
+  | other -> Printf.eprintf "unknown workload %s\n" other);
+  let report = Sys_.report inst in
+  Format.printf "---@.%a@." Engine.Stats.pp report
+
+let main sys machine workers cache_scale workload graph_scale query =
+  let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+  Printf.printf "system=%s machine=[%s] workers=%d cache-scale=%d\n"
+    (Sys_.sys_name sys)
+    (Format.asprintf "%a" Chipsim.Topology.pp (Chipsim.Machine.topology inst.Sys_.machine))
+    workers cache_scale;
+  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query
+
+let sys_arg =
+  Arg.(value & opt (enum systems) Sys_.Charm & info [ "s"; "system" ] ~doc:"Runtime system.")
+
+let machine_arg =
+  Arg.(value & opt (enum machines) Sys_.Amd_milan & info [ "m"; "machine" ] ~doc:"Machine model.")
+
+let workers_arg =
+  Arg.(value & opt int 64 & info [ "n"; "workers" ] ~doc:"Worker threads.")
+
+let cache_scale_arg =
+  Arg.(value & opt int 16 & info [ "cache-scale" ] ~doc:"Divide cache capacities by this factor.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun w -> (w, w)) workloads)) "bfs"
+    & info [ "w"; "workload" ] ~doc:"Workload to run.")
+
+let graph_scale_arg =
+  Arg.(value & opt int 13 & info [ "graph-scale" ] ~doc:"log2 of graph vertices.")
+
+let query_arg =
+  Arg.(value & opt (some int) None & info [ "q"; "query" ] ~doc:"TPC-H query number.")
+
+let cmd =
+  let doc = "run a workload on the simulated chiplet machine under a runtime system" in
+  Cmd.v
+    (Cmd.info "charm_run" ~doc)
+    Term.(
+      const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
+      $ workload_arg $ graph_scale_arg $ query_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_olap.ml: Charm Harness List Olap Option Printf String Workloads

@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Array Bfs Csr Engine Exec_env Harness Kronecker Pagerank Printf Workload_result Workloads

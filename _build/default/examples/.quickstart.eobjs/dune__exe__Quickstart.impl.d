@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Charm Chipsim Engine Format Machine Presets Printf Topology

@@ -1,0 +1,1 @@
+examples/sgd_coroutines.ml: Dataset Dimmwitted Engine Exec_env Harness Printf Sgd Workloads

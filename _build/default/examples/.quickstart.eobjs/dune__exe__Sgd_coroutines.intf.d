@@ -1,0 +1,1 @@
+examples/sgd_coroutines.mli:

@@ -1,0 +1,39 @@
+(* Adaptive cache partitioning on OLAP (paper §5.6): a scan-heavy query
+   (Q6) prefers a compact footprint, a join-heavy query (Q3) profits from
+   spreading across chiplets for aggregate L3.  CHARM's controller makes
+   that call at runtime; this example shows the decisions it took.
+
+   Run with: dune exec examples/adaptive_olap.exe *)
+
+module Sys_ = Harness.Systems
+
+let () =
+  let inst = Sys_.make ~cache_scale:16 Sys_.Charm Sys_.Amd_milan ~n_workers:8 () in
+  let env = inst.Sys_.env in
+  let data =
+    Olap.Tpch_data.generate
+      ~alloc:(fun ~elt_bytes ~count ->
+        env.Workloads.Exec_env.alloc_shared ~elt_bytes ~count)
+      ~sf:0.01 ()
+  in
+  Printf.printf "TPC-H-shaped dataset: %d total rows\n\n" (Olap.Tpch_data.total_rows data);
+  let rt = Option.get inst.Sys_.charm in
+  let policy = Charm.Runtime.policy rt in
+  let spread_of w = Charm.Policy.spread_rate policy ~worker:w in
+  List.iter
+    (fun q ->
+      let result, makespan = Olap.Tpch_queries.execute env data q in
+      let spreads = List.init 8 spread_of in
+      Printf.printf
+        "Q%-2d (%s): %8.3f ms, checksum %.3e, %d result groups\n     spread_rates now: %s\n"
+        q
+        (if List.mem q Olap.Tpch_queries.join_heavy then "join-heavy" else "scan-heavy")
+        (makespan /. 1e6) result.Olap.Tpch_queries.checksum
+        result.Olap.Tpch_queries.rows_out
+        (String.concat " " (List.map string_of_int spreads)))
+    [ 6; 1; 3; 9; 18 ];
+  let st = Charm.Policy.stats policy in
+  Printf.printf
+    "\npolicy activity: %d evaluations, %d spreads, %d contractions, %d migrations\n"
+    st.Charm.Policy.ticks st.Charm.Policy.spreads st.Charm.Policy.contracts
+    st.Charm.Policy.migrations

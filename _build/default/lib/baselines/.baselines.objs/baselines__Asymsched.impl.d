@@ -1,0 +1,1 @@
+lib/baselines/asymsched.ml: Array Baseline Chipsim Engine Float Machine Topology

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Array Chipsim Engine Float Latency Machine Simmem Topology

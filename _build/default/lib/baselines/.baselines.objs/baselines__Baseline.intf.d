@@ -1,0 +1,1 @@
+lib/baselines/baseline.mli: Chipsim Engine Latency Machine Simmem Topology

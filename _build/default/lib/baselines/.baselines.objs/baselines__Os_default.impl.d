@@ -1,0 +1,1 @@
+lib/baselines/os_default.ml: Baseline Chipsim Engine Machine Topology

@@ -1,0 +1,1 @@
+lib/baselines/ring.ml: Baseline

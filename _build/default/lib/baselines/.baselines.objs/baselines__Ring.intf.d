@@ -1,0 +1,1 @@
+lib/baselines/ring.mli: Baseline

@@ -1,0 +1,1 @@
+lib/baselines/sam.ml: Array Baseline Chipsim Engine Hashtbl Machine Option Pmu Topology

@@ -1,0 +1,1 @@
+lib/baselines/sam.mli: Baseline

@@ -1,0 +1,1 @@
+lib/baselines/shoal.ml: Baseline Chipsim Latency Simmem

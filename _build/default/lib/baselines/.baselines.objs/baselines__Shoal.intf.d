@@ -1,0 +1,1 @@
+lib/baselines/shoal.mli: Baseline

@@ -1,0 +1,1 @@
+lib/baselines/static_policy.ml: Baseline Chipsim

@@ -1,0 +1,9 @@
+(** AsymSched (Lepers et al.): bandwidth-centric NUMA scheduler.
+
+    Reimplemented policy: threads balanced across nodes, and a periodic
+    per-worker check that migrates the worker to the other socket when its
+    node's memory channels are markedly more loaded — maximising aggregate
+    bandwidth, with no notion of chiplets (target cores within the
+    destination socket are picked blindly). *)
+
+val spec : unit -> Baseline.spec

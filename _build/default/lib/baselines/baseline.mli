@@ -1,0 +1,67 @@
+(** Generic driver for the comparison systems of paper §5.1.
+
+    Every baseline is expressed as a {!spec}: an initial thread-placement
+    function, a shared-memory allocation policy, a steal-victim discipline,
+    an optional periodic rebalancing action, and a task model.  The driver
+    runs the spec over the same simulated machine and scheduler as CHARM,
+    so differences in results come only from policy — exactly how the
+    paper's comparisons are constructed. *)
+
+open Chipsim
+
+type steal_discipline =
+  | Chiplet_first  (** victims ordered by core distance (CHARM's order) *)
+  | Numa_first  (** same socket first, chiplet-blind within it *)
+  | Random_victim
+  | No_steal
+
+type t
+
+type spec = {
+  name : string;
+  description : string;
+  placement : Topology.t -> n_workers:int -> int -> int;
+      (** initial core of each worker; must be injective *)
+  shared_policy : Topology.t -> Simmem.policy;
+      (** how the system places shared datasets *)
+  steal : steal_discipline;
+  tick_interval_ns : float;  (** 0 disables periodic rebalancing *)
+  on_tick : (t -> worker:int -> unit) option;
+  profile_adjust : Latency.profile -> Latency.profile;
+      (** machine-level latency adjustment (e.g., SHOAL's huge pages) *)
+  task_model : Engine.Sched.task_model;
+}
+
+val default_spec : name:string -> description:string -> spec
+(** Sequential placement, first-touch memory, chiplet-first stealing, no
+    rebalancing, coroutine tasks. *)
+
+val init : spec -> Machine.t -> n_workers:int -> t
+val name : t -> string
+val spec : t -> spec
+val sched : t -> Engine.Sched.t
+val machine : t -> Machine.t
+val n_workers : t -> int
+val rng : t -> Engine.Rng.t
+
+val alloc_shared : t -> elt_bytes:int -> count:int -> unit -> Simmem.region
+val run : t -> (Engine.Sched.ctx -> unit) -> float
+val all_do : t -> (Engine.Sched.ctx -> int -> unit) -> float
+val finalize : t -> Engine.Stats.report
+val last_makespan : t -> float
+
+(** Placement building blocks shared by the concrete baselines. *)
+module Layouts : sig
+  val sequential : Topology.t -> n_workers:int -> int -> int
+  (** worker [w] -> core [w] (fills chiplet 0, then 1, ...). *)
+
+  val socket_round_robin_scatter : Topology.t -> n_workers:int -> int -> int
+  (** Alternate sockets; within a socket, scatter across chiplets
+      round-robin (Linux-CFS-like spreading). *)
+
+  val socket_round_robin_fill : Topology.t -> n_workers:int -> int -> int
+  (** Alternate sockets; within a socket, fill cores sequentially. *)
+
+  val one_per_chiplet : Topology.t -> n_workers:int -> int -> int
+  (** Round-robin across all chiplets (maximal spread). *)
+end

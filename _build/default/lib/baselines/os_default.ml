@@ -1,0 +1,34 @@
+open Chipsim
+
+(* CFS periodically rebalances: threads wander to random idle cores,
+   destroying cache affinity (what pinning — and CHARM — prevents). *)
+let wander t ~worker =
+  let sched = Baseline.sched t in
+  let machine = Baseline.machine t in
+  let rng = Baseline.rng t in
+  if Engine.Rng.int rng 4 = 0 then begin
+    let topo = Machine.topology machine in
+    let cores = Topology.num_cores topo in
+    let tries = ref 8 in
+    let moved = ref false in
+    while (not !moved) && !tries > 0 do
+      decr tries;
+      let target = Engine.Rng.int rng cores in
+      if Engine.Sched.worker_of_core sched target = None then begin
+        Engine.Sched.migrate sched ~worker ~core:target;
+        moved := true
+      end
+    done
+  end
+
+let spec () =
+  {
+    (Baseline.default_spec ~name:"os-default"
+       ~description:
+         "CFS-like: socket round-robin, chiplet-blind scatter, random stealing, periodic rebalancing")
+    with
+    Baseline.placement = Baseline.Layouts.socket_round_robin_scatter;
+    steal = Baseline.Random_victim;
+    tick_interval_ns = 400_000.0;
+    on_tick = Some wander;
+  }

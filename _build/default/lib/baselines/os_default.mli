@@ -1,0 +1,5 @@
+(** Linux-CFS-like default scheduling: spread across sockets first, scatter
+    over chiplets within each socket, steal from random victims, first-touch
+    memory.  The no-runtime-support baseline of paper Fig. 9. *)
+
+val spec : unit -> Baseline.spec

@@ -1,0 +1,9 @@
+(** RING (Meng & Tan, ICPADS'17): NUMA-aware message-batching runtime.
+
+    Reimplemented policy: worker threads are balanced round-robin across
+    NUMA nodes (chiplet-blind scatter within each node), memory is
+    allocated NUMA-locally (first touch by the owning worker), and steals
+    prefer same-node victims.  This reproduces the paper's observation
+    that RING avoids remote {e memory} but not remote {e L3} accesses. *)
+
+val spec : unit -> Baseline.spec

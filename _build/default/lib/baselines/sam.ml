@@ -1,0 +1,72 @@
+open Chipsim
+module Sched = Engine.Sched
+
+let remote_fill_threshold = 200
+
+let remote_numa_fills machine ~core =
+  Pmu.read (Machine.pmu machine) ~core Pmu.Fill_remote_numa
+  + Pmu.read (Machine.pmu machine) ~core Pmu.Dram_remote
+
+(* strict majority: SAM consolidates sharers only when one socket already
+   clearly dominates; a balanced gang stays balanced *)
+let majority_socket t ~current =
+  let sched = Baseline.sched t in
+  let topo = Machine.topology (Baseline.machine t) in
+  let counts = Array.make topo.Topology.sockets 0 in
+  for w = 0 to Sched.n_workers sched - 1 do
+    let s = Topology.socket_of_core topo (Sched.worker_core sched w) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+  if 10 * counts.(!best) >= 6 * Sched.n_workers sched then !best else current
+
+let random_free_core t ~socket =
+  let sched = Baseline.sched t in
+  let topo = Machine.topology (Baseline.machine t) in
+  let cps = Topology.cores_per_socket topo in
+  let base = socket * cps in
+  let free = ref [] in
+  for c = base to base + cps - 1 do
+    if Sched.worker_of_core sched c = None then free := c :: !free
+  done;
+  match !free with
+  | [] -> None
+  | cores ->
+      let arr = Array.of_list cores in
+      Some arr.(Engine.Rng.int (Baseline.rng t) (Array.length arr))
+
+let tick ~confused ~baselines t ~worker =
+  let machine = Baseline.machine t in
+  let sched = Baseline.sched t in
+  let topo = Machine.topology machine in
+  let core = Sched.worker_core sched worker in
+  let fills = remote_numa_fills machine ~core in
+  let base = Option.value ~default:0 (Hashtbl.find_opt baselines worker) in
+  Hashtbl.replace baselines worker fills;
+  let delta = fills - base in
+  let my_socket = Topology.socket_of_core topo core in
+  let target_socket =
+    if confused && Engine.Rng.int (Baseline.rng t) 4 = 0 then
+      (* misread PMU signal: migrate somewhere random *)
+      Engine.Rng.int (Baseline.rng t) topo.Topology.sockets
+    else if delta > remote_fill_threshold then majority_socket t ~current:my_socket
+    else my_socket
+  in
+  if target_socket <> my_socket then
+    match random_free_core t ~socket:target_socket with
+    | Some target -> Sched.migrate sched ~worker ~core:target
+    | None -> ()
+
+let spec ?(confused = false) () =
+  (* per-instance PMU baselines: fresh for every spec instantiation *)
+  let baselines : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  {
+    (Baseline.default_spec ~name:(if confused then "sam(confused)" else "sam")
+       ~description:"sharing-aware socket co-location, chiplet-blind cores")
+    with
+    Baseline.placement = Baseline.Layouts.socket_round_robin_scatter;
+    steal = Baseline.Numa_first;
+    tick_interval_ns = 800_000.0;
+    on_tick = Some (tick ~confused ~baselines);
+  }

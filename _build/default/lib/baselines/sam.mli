@@ -1,0 +1,13 @@
+(** SAM (Srikanthan et al., ATC'16): sharing/contention-aware multicore
+    scheduler.
+
+    Reimplemented policy: threads balanced across sockets (SAM schedules a
+    multiprogrammed machine), and a periodic check that pulls a worker
+    suffering heavy
+    cross-socket coherence traffic back to the gang's majority socket —
+    choosing the target core within the socket blindly, since SAM has no
+    chiplet notion.  With [~confused:true] (the Intel case of paper §5.3,
+    where SAM's PMU heuristics misread the platform) migrations are
+    additionally issued at random. *)
+
+val spec : ?confused:bool -> unit -> Baseline.spec

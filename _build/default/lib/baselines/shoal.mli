@@ -1,0 +1,9 @@
+(** SHOAL (Kaestle et al., ATC'15): smart array allocation/replication for
+    NUMA machines.
+
+    Reimplemented policy: strictly sequential core assignment (task 0 on
+    core 0 — the behaviour paper §5.4 highlights: with 16 cores SHOAL uses
+    only 2 of 8 chiplets), array data interleaved across nodes with
+    huge-page/DMA assistance modelled as a DRAM latency discount. *)
+
+val spec : unit -> Baseline.spec

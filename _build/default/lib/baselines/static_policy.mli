@@ -1,0 +1,10 @@
+(** The two static chiplet policies of paper §2.3 and §5.7.
+
+    [LocalCache] confines the gang to as few chiplets as possible
+    (maximum locality, minimum aggregate L3); [DistributedCache] spreads
+    one worker per chiplet round-robin (maximum aggregate L3, maximum
+    inter-chiplet distance).  Both are static — no adaptation — which is
+    exactly what makes them useful as envelope probes around CHARM. *)
+
+val local_cache : unit -> Baseline.spec
+val distributed_cache : unit -> Baseline.spec

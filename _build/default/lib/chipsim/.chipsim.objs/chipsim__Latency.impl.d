@@ -1,0 +1,1 @@
+lib/chipsim/latency.ml: Topology

@@ -1,0 +1,1 @@
+lib/chipsim/machine.ml: Array Cache Directory Float Latency Memchan Pmu Simmem Topology

@@ -1,0 +1,1 @@
+lib/chipsim/machine.mli: Latency Pmu Simmem Topology

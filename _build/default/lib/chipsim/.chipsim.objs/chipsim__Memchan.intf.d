@@ -1,0 +1,1 @@
+lib/chipsim/memchan.mli:

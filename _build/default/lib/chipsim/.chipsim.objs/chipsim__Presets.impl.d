@@ -1,0 +1,1 @@
+lib/chipsim/presets.ml: Latency Topology

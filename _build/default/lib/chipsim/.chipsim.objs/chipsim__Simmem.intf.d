@@ -1,0 +1,1 @@
+lib/chipsim/simmem.mli: Topology

@@ -1,0 +1,1 @@
+lib/chipsim/topology.ml: Format List Printf

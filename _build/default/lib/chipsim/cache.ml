@@ -1,0 +1,95 @@
+type t = {
+  sets : int;  (* power of two *)
+  ways : int;
+  size_bytes : int;
+  tags : int array;  (* sets * ways; -1 = invalid *)
+  stamps : int array;  (* recency stamp per way *)
+  mutable clock : int;
+}
+
+let create ?(ways = 16) ~size_bytes ~line_bytes () =
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  if line_bytes <= 0 then invalid_arg "Cache.create: line_bytes must be positive";
+  let lines = size_bytes / line_bytes in
+  if lines < ways then invalid_arg "Cache.create: cache smaller than one set";
+  let raw_sets = lines / ways in
+  (* round down to a power of two so set indexing is a mask *)
+  let rec pow2_below n acc = if acc * 2 > n then acc else pow2_below n (acc * 2) in
+  let sets = pow2_below raw_sets 1 in
+  {
+    sets;
+    ways;
+    size_bytes = sets * ways * line_bytes;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+  }
+
+type access_result = Hit | Miss of { evicted : int option }
+
+let set_of_line t line =
+  (* mix the high bits in so strided workloads spread across sets *)
+  let h = line lxor (line lsr 16) in
+  h land (t.sets - 1)
+
+let access t line =
+  t.clock <- t.clock + 1;
+  let base = set_of_line t line * t.ways in
+  let rec find i =
+    if i >= t.ways then None
+    else if t.tags.(base + i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.stamps.(base + i) <- t.clock;
+      Hit
+  | None ->
+      (* choose an invalid way, else the LRU way *)
+      let victim = ref 0 and best = ref max_int and free = ref (-1) in
+      for i = 0 to t.ways - 1 do
+        if t.tags.(base + i) = -1 then (if !free = -1 then free := i)
+        else if t.stamps.(base + i) < !best then begin
+          best := t.stamps.(base + i);
+          victim := i
+        end
+      done;
+      let way = if !free >= 0 then !free else !victim in
+      let evicted = if !free >= 0 then None else Some t.tags.(base + way) in
+      t.tags.(base + way) <- line;
+      t.stamps.(base + way) <- t.clock;
+      Miss { evicted }
+
+let probe t line =
+  let base = set_of_line t line * t.ways in
+  let rec find i =
+    if i >= t.ways then false
+    else t.tags.(base + i) = line || find (i + 1)
+  in
+  find 0
+
+let invalidate t line =
+  let base = set_of_line t line * t.ways in
+  let rec find i =
+    if i >= t.ways then false
+    else if t.tags.(base + i) = line then begin
+      t.tags.(base + i) <- -1;
+      true
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0
+
+let size_bytes t = t.size_bytes
+let ways t = t.ways
+let sets t = t.sets
+
+let occupancy t =
+  let n = ref 0 in
+  Array.iter (fun tag -> if tag <> -1 then incr n) t.tags;
+  !n

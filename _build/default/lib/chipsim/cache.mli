@@ -1,0 +1,34 @@
+(** Set-associative LRU cache model over cache-line identifiers.
+
+    The model tracks only line {e presence}; data values live in ordinary
+    OCaml arrays owned by the workloads.  A line identifier is the simulated
+    byte address divided by the line size. *)
+
+type t
+
+val create : ?ways:int -> size_bytes:int -> line_bytes:int -> unit -> t
+(** [create ~size_bytes ~line_bytes ()] rounds the number of sets down to a
+    power of two.  @raise Invalid_argument if the geometry is degenerate. *)
+
+type access_result =
+  | Hit
+  | Miss of { evicted : int option }
+      (** The line was inserted; [evicted] is the replaced line id if the
+          chosen set was full. *)
+
+val access : t -> int -> access_result
+(** [access t line] looks up [line], inserting it (LRU replacement) on miss
+    and refreshing recency on hit. *)
+
+val probe : t -> int -> bool
+(** Presence test without any state change. *)
+
+val invalidate : t -> int -> bool
+(** Remove a line if present; returns whether it was present. *)
+
+val clear : t -> unit
+val size_bytes : t -> int
+val ways : t -> int
+val sets : t -> int
+val occupancy : t -> int
+(** Number of valid lines currently held (O(capacity); for tests/stats). *)

@@ -1,0 +1,68 @@
+type t = { chiplets : int; table : (int, int) Hashtbl.t }
+
+let create ~chiplets =
+  if chiplets <= 0 || chiplets > 62 then
+    invalid_arg "Directory.create: chiplets must be in [1,62]";
+  { chiplets; table = Hashtbl.create (1 lsl 16) }
+
+let holders t line = match Hashtbl.find_opt t.table line with Some m -> m | None -> 0
+
+let check t chiplet =
+  if chiplet < 0 || chiplet >= t.chiplets then
+    invalid_arg "Directory: chiplet out of range"
+
+let add t ~line ~chiplet =
+  check t chiplet;
+  let m = holders t line lor (1 lsl chiplet) in
+  Hashtbl.replace t.table line m
+
+let remove t ~line ~chiplet =
+  check t chiplet;
+  let m = holders t line land lnot (1 lsl chiplet) in
+  if m = 0 then Hashtbl.remove t.table line else Hashtbl.replace t.table line m
+
+let set_exclusive t ~line ~chiplet =
+  check t chiplet;
+  Hashtbl.replace t.table line (1 lsl chiplet)
+
+let holds t ~line ~chiplet =
+  check t chiplet;
+  holders t line land (1 lsl chiplet) <> 0
+
+let iter_holders t ~line f =
+  let m = holders t line in
+  for c = 0 to t.chiplets - 1 do
+    if m land (1 lsl c) <> 0 then f c
+  done
+
+let count_holders t ~line =
+  let m = holders t line in
+  let rec popcount m acc = if m = 0 then acc else popcount (m lsr 1) (acc + (m land 1)) in
+  popcount m 0
+
+let nearest_holder topo t ~line ~from_chiplet =
+  let m = holders t line land lnot (1 lsl from_chiplet) in
+  if m = 0 then None
+  else begin
+    let best = ref None and best_rank = ref max_int in
+    let rank c =
+      match Latency.classify_chiplets topo from_chiplet c with
+      | Latency.Same_chiplet -> 0
+      | Latency.Same_group -> 1
+      | Latency.Same_socket -> 2
+      | Latency.Cross_socket -> 3
+      | Latency.Same_core -> 0
+    in
+    for c = 0 to t.chiplets - 1 do
+      if m land (1 lsl c) <> 0 then begin
+        let r = rank c in
+        if r < !best_rank then begin
+          best_rank := r;
+          best := Some c
+        end
+      end
+    done;
+    !best
+  end
+
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,23 @@
+(** Sparse coherence directory: which chiplets hold a copy of each line.
+
+    Presence is a bitmask (machine-wide chiplet index), so topologies of up
+    to 62 chiplets are supported. *)
+
+type t
+
+val create : chiplets:int -> t
+val holders : t -> int -> int
+(** Bitmask of chiplets holding the line (0 if uncached). *)
+
+val add : t -> line:int -> chiplet:int -> unit
+val remove : t -> line:int -> chiplet:int -> unit
+val set_exclusive : t -> line:int -> chiplet:int -> unit
+val holds : t -> line:int -> chiplet:int -> bool
+val iter_holders : t -> line:int -> (int -> unit) -> unit
+val count_holders : t -> line:int -> int
+val nearest_holder :
+  Topology.t -> t -> line:int -> from_chiplet:int -> int option
+(** Closest chiplet (by {!Latency.classify_chiplets} order, same chiplet
+    excluded) holding the line, or [None] when uncached anywhere else. *)
+
+val clear : t -> unit

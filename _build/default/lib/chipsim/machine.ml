@@ -1,0 +1,172 @@
+type t = {
+  topo : Topology.t;
+  profile : Latency.profile;
+  l3 : Cache.t array;  (* per chiplet *)
+  l2 : Cache.t array;  (* per core *)
+  dir : Directory.t;
+  chan : Memchan.t;
+  links : Memchan.t;  (* per-chiplet link to the I/O die (GMI) *)
+  mem : Simmem.t;
+  pmu : Pmu.t;
+}
+
+let create ?(profile = Latency.default_profile) topo =
+  let chiplets = Topology.num_chiplets topo in
+  let cores = Topology.num_cores topo in
+  {
+    topo;
+    profile;
+    l3 =
+      Array.init chiplets (fun _ ->
+          Cache.create ~size_bytes:topo.Topology.l3_bytes_per_chiplet
+            ~line_bytes:topo.Topology.line_bytes ());
+    l2 =
+      Array.init cores (fun _ ->
+          Cache.create ~ways:8 ~size_bytes:topo.Topology.l2_bytes_per_core
+            ~line_bytes:topo.Topology.line_bytes ());
+    dir = Directory.create ~chiplets;
+    chan =
+      Memchan.create ~nodes:topo.Topology.sockets
+        ~channels_per_node:topo.Topology.mem_channels_per_socket
+        ~bytes_per_ns_per_channel:topo.Topology.mem_bw_bytes_per_ns_per_channel
+        ~line_bytes:topo.Topology.line_bytes ();
+    links =
+      Memchan.create ~nodes:(Topology.num_chiplets topo) ~channels_per_node:1
+        ~bytes_per_ns_per_channel:4.0 ~line_bytes:topo.Topology.line_bytes ();
+    mem = Simmem.create topo;
+    pmu = Pmu.create ~cores;
+  }
+
+let topology t = t.topo
+let profile t = t.profile
+let pmu t = t.pmu
+let mem t = t.mem
+
+let alloc t ?policy ~elt_bytes ~count () =
+  Simmem.alloc t.mem ?policy ~elt_bytes ~count ()
+
+let access_line t ~core ~now_ns ~write ~line =
+  let topo = t.topo and p = t.profile in
+  let chiplet = Topology.chiplet_of_core topo core in
+  let socket = Topology.socket_of_core topo core in
+  (* Core-private L2 filter: reads served by the L2 cost nothing beyond the
+     L2 hit latency and generate no chiplet-level traffic. *)
+  let l2 = t.l2.(core) in
+  let l2_hit = match Cache.access l2 line with Cache.Hit -> true | Cache.Miss _ -> false in
+  let cost =
+    if l2_hit && not write then begin
+      Pmu.incr t.pmu ~core Pmu.L2_hit;
+      p.Latency.l2_hit_ns
+    end
+    else begin
+      let l3 = t.l3.(chiplet) in
+      let fill_cost =
+        match Cache.access l3 line with
+        | Cache.Hit ->
+            Pmu.incr t.pmu ~core Pmu.L3_local_hit;
+            p.Latency.same_chiplet_ns
+        | Cache.Miss { evicted } ->
+            (match evicted with
+            | Some victim -> Directory.remove t.dir ~line:victim ~chiplet
+            | None -> ());
+            let cost =
+              match Directory.nearest_holder topo t.dir ~line ~from_chiplet:chiplet with
+              | Some holder ->
+                  let d = Latency.classify_chiplets topo chiplet holder in
+                  let base = Latency.of_distance p d in
+                  if Topology.socket_of_chiplet topo holder = socket then
+                    Pmu.incr t.pmu ~core Pmu.Fill_remote_chiplet
+                  else Pmu.incr t.pmu ~core Pmu.Fill_remote_numa;
+                  (* a cache-to-cache transfer occupies both chiplets'
+                     I/O-die links; inter-chiplet traffic therefore
+                     saturates with core count (paper insight 3) *)
+                  let l1 = Memchan.access_ns t.links ~node:chiplet ~now_ns ~base_ns:base in
+                  let l2c = Memchan.access_ns t.links ~node:holder ~now_ns ~base_ns:base in
+                  Float.max l1 l2c
+              | None ->
+                  let addr = line * topo.Topology.line_bytes in
+                  let home = Simmem.node_of_addr t.mem ~toucher_node:socket addr in
+                  let base =
+                    if home = socket then begin
+                      Pmu.incr t.pmu ~core Pmu.Dram_local;
+                      p.Latency.dram_local_ns
+                    end
+                    else begin
+                      Pmu.incr t.pmu ~core Pmu.Dram_remote;
+                      p.Latency.dram_remote_ns
+                    end
+                  in
+                  let node_cost =
+                    Memchan.access_ns t.chan ~node:home ~now_ns ~base_ns:base
+                  in
+                  (* DRAM traffic also crosses this chiplet's I/O-die link;
+                     the slower of the two queues dominates *)
+                  let link_cost =
+                    Memchan.access_ns t.links ~node:chiplet ~now_ns ~base_ns:base
+                  in
+                  Float.max node_cost link_cost
+            in
+            Directory.add t.dir ~line ~chiplet;
+            cost
+      in
+      fill_cost
+    end
+  in
+  if write then begin
+    (* Invalidate copies held by other chiplets; the writer becomes the
+       exclusive holder. *)
+    let extra = ref 0.0 in
+    Directory.iter_holders t.dir ~line (fun holder ->
+        if holder <> chiplet then begin
+          ignore (Cache.invalidate t.l3.(holder) line : bool);
+          Pmu.incr t.pmu ~core Pmu.Coherence_invalidation;
+          extra := !extra +. p.Latency.coherence_inval_ns
+        end);
+    Directory.set_exclusive t.dir ~line ~chiplet;
+    cost +. !extra
+  end
+  else cost
+
+let access t ~core ~now_ns ~write addr =
+  access_line t ~core ~now_ns ~write ~line:(addr / t.topo.Topology.line_bytes)
+
+let touch t ~core ~now_ns ~write region i =
+  access t ~core ~now_ns ~write (Simmem.addr region i)
+
+(* Hardware prefetchers hide most of the latency of a sequential run:
+   lines after the first are charged a fraction of their latency, while
+   the bandwidth they consume is still fully accounted by the channel and
+   link models.  This is what lets one streaming thread pull an order of
+   magnitude more bandwidth than a pointer-chasing one. *)
+let prefetch_factor = 0.35
+
+let touch_range t ~core ~now_ns ~write region ~lo ~hi =
+  if lo >= hi then 0.0
+  else begin
+    let line_bytes = t.topo.Topology.line_bytes in
+    let first = Simmem.addr region lo / line_bytes in
+    let last = (Simmem.addr region (hi - 1)) / line_bytes in
+    let total = ref 0.0 in
+    for line = first to last do
+      let cost = access_line t ~core ~now_ns:(now_ns +. !total) ~write ~line in
+      let cost = if line = first then cost else cost *. prefetch_factor in
+      total := !total +. cost
+    done;
+    !total
+  end
+
+let core_to_core_ns t a b = Latency.core_to_core_ns ~profile:t.profile t.topo a b
+let dram_load_ratio t ~node ~now_ns = Memchan.load_ratio t.chan ~node ~now_ns
+let dram_bytes_served t ~node = Memchan.bytes_served t.chan ~node
+
+let flush_caches t =
+  Array.iter Cache.clear t.l3;
+  Array.iter Cache.clear t.l2;
+  Directory.clear t.dir;
+  Memchan.reset t.chan;
+  Memchan.reset t.links
+
+let reset t =
+  flush_caches t;
+  Simmem.reset t.mem;
+  Pmu.reset t.pmu

@@ -1,0 +1,50 @@
+(** The simulated chiplet machine: caches + coherence + DRAM + PMU behind a
+    single access call.
+
+    Every memory access made by a simulated core returns the latency it
+    would have cost on the modelled hardware, and increments the PMU
+    counter classifying the source that served it (local L3 slice, remote
+    chiplet, remote socket, or DRAM) — the same signal CHARM's profiler
+    reads from hardware counters on real machines. *)
+
+type t
+
+val create : ?profile:Latency.profile -> Topology.t -> t
+val topology : t -> Topology.t
+val profile : t -> Latency.profile
+val pmu : t -> Pmu.t
+val mem : t -> Simmem.t
+
+val alloc :
+  t -> ?policy:Simmem.policy -> elt_bytes:int -> count:int -> unit ->
+  Simmem.region
+(** Allocate simulated memory (see {!Simmem.alloc}). *)
+
+val access : t -> core:int -> now_ns:float -> write:bool -> int -> float
+(** [access t ~core ~now_ns ~write addr] simulates one memory access and
+    returns its latency in virtual nanoseconds. *)
+
+val access_line :
+  t -> core:int -> now_ns:float -> write:bool -> line:int -> float
+(** Same, when the caller already knows the line id. *)
+
+val touch :
+  t -> core:int -> now_ns:float -> write:bool -> Simmem.region -> int -> float
+(** Access element [i] of a region. *)
+
+val touch_range :
+  t -> core:int -> now_ns:float -> write:bool -> Simmem.region ->
+  lo:int -> hi:int -> float
+(** Sequentially access elements [lo, hi) of a region, touching each covered
+    cache line exactly once.  Returns the summed latency. *)
+
+val core_to_core_ns : t -> int -> int -> float
+val dram_load_ratio : t -> node:int -> now_ns:float -> float
+val dram_bytes_served : t -> node:int -> int
+
+val flush_caches : t -> unit
+(** Drop all cached state (caches, directory, channel history) but keep
+    page placements and PMU counters. *)
+
+val reset : t -> unit
+(** Full reset: caches, directory, channels, page placements, PMU. *)

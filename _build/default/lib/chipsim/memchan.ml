@@ -1,0 +1,73 @@
+type t = {
+  bin_ns : float;
+  nodes : int;
+  line_bytes : int;
+  capacity_bytes_per_bin : float;  (* per node *)
+  (* ring of recent bins per node: bins.(node * ring + (bin mod ring)) *)
+  ring : int;
+  bin_ids : int array;  (* which absolute bin each slot currently holds *)
+  bin_bytes : int array;
+  total_bytes : int array;  (* per node *)
+}
+
+let ring_slots = 8192
+
+let create ?(bin_ns = 1000.0) ~nodes ~channels_per_node ~bytes_per_ns_per_channel
+    ~line_bytes () =
+  if nodes <= 0 then invalid_arg "Memchan.create: nodes must be positive";
+  if channels_per_node <= 0 then
+    invalid_arg "Memchan.create: channels_per_node must be positive";
+  {
+    bin_ns;
+    nodes;
+    line_bytes;
+    capacity_bytes_per_bin =
+      float_of_int channels_per_node *. bytes_per_ns_per_channel *. bin_ns;
+    ring = ring_slots;
+    bin_ids = Array.make (nodes * ring_slots) (-1);
+    bin_bytes = Array.make (nodes * ring_slots) 0;
+    total_bytes = Array.make nodes 0;
+  }
+
+let slot t node bin = (node * t.ring) + (bin mod t.ring)
+
+let bin_of t now_ns = int_of_float (now_ns /. t.bin_ns)
+
+let check_node t node =
+  if node < 0 || node >= t.nodes then invalid_arg "Memchan: node out of range"
+
+let current_bytes t node bin =
+  let s = slot t node bin in
+  if t.bin_ids.(s) = bin then t.bin_bytes.(s) else 0
+
+let access_ns t ~node ~now_ns ~base_ns =
+  check_node t node;
+  let bin = bin_of t now_ns in
+  let s = slot t node bin in
+  if t.bin_ids.(s) <> bin then begin
+    t.bin_ids.(s) <- bin;
+    t.bin_bytes.(s) <- 0
+  end;
+  t.bin_bytes.(s) <- t.bin_bytes.(s) + t.line_bytes;
+  t.total_bytes.(node) <- t.total_bytes.(node) + t.line_bytes;
+  let load = float_of_int t.bin_bytes.(s) /. t.capacity_bytes_per_bin in
+  (* Mild queueing slope below saturation, steep beyond it. *)
+  let factor =
+    if load <= 1.0 then 1.0 +. (0.3 *. load)
+    else 1.3 +. (2.0 *. (load -. 1.0))
+  in
+  base_ns *. factor
+
+let load_ratio t ~node ~now_ns =
+  check_node t node;
+  let bin = bin_of t now_ns in
+  float_of_int (current_bytes t node bin) /. t.capacity_bytes_per_bin
+
+let bytes_served t ~node =
+  check_node t node;
+  t.total_bytes.(node)
+
+let reset t =
+  Array.fill t.bin_ids 0 (Array.length t.bin_ids) (-1);
+  Array.fill t.bin_bytes 0 (Array.length t.bin_bytes) 0;
+  Array.fill t.total_bytes 0 (Array.length t.total_bytes) 0

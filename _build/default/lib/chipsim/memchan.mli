@@ -1,0 +1,31 @@
+(** Per-NUMA-node memory-channel contention model.
+
+    DRAM accesses are binned by virtual time; when the bytes demanded within
+    a bin exceed what the node's channels can deliver, the access latency is
+    inflated proportionally.  This reproduces the paper's core premise
+    (§2.2): more cores competing for a fixed number of channels degrade
+    per-access latency once the node saturates. *)
+
+type t
+
+val create :
+  ?bin_ns:float ->
+  nodes:int ->
+  channels_per_node:int ->
+  bytes_per_ns_per_channel:float ->
+  line_bytes:int ->
+  unit ->
+  t
+
+val access_ns : t -> node:int -> now_ns:float -> base_ns:float -> float
+(** [access_ns t ~node ~now_ns ~base_ns] records one line transfer against
+    [node] at virtual time [now_ns] and returns the contention-adjusted
+    latency (at least [base_ns]). *)
+
+val load_ratio : t -> node:int -> now_ns:float -> float
+(** Demand / capacity of the bin containing [now_ns] (1.0 = saturated). *)
+
+val bytes_served : t -> node:int -> int
+(** Total bytes ever served by the node (for bandwidth-utilisation stats). *)
+
+val reset : t -> unit

@@ -1,0 +1,43 @@
+let mib n = n * 1024 * 1024
+let kib n = n * 1024
+
+let scale_div bytes scale =
+  let v = bytes / scale in
+  max v 4096
+
+let amd_milan ?(scale = 1) () =
+  Topology.v ~sockets:2 ~chiplets_per_socket:8 ~cores_per_chiplet:8
+    ~chiplet_group_size:2
+    ~l3_bytes_per_chiplet:(scale_div (mib 32) scale)
+    ~l2_bytes_per_core:(scale_div (kib 512) scale)
+    ~mem_channels_per_socket:8 ~mem_bw_bytes_per_ns_per_channel:4.8 ()
+
+let amd_milan_1s ?(scale = 1) () =
+  Topology.v ~sockets:1 ~chiplets_per_socket:8 ~cores_per_chiplet:8
+    ~chiplet_group_size:2
+    ~l3_bytes_per_chiplet:(scale_div (mib 32) scale)
+    ~l2_bytes_per_core:(scale_div (kib 512) scale)
+    ~mem_channels_per_socket:8 ~mem_bw_bytes_per_ns_per_channel:4.8 ()
+
+let intel_spr ?(scale = 1) () =
+  (* 48 cores/socket as 4 tiles x 12 cores; 105 MB shared L3 modelled as
+     ~26 MB slices with a faster tile-to-tile interconnect. *)
+  Topology.v ~sockets:2 ~chiplets_per_socket:4 ~cores_per_chiplet:12
+    ~chiplet_group_size:2
+    ~l3_bytes_per_chiplet:(scale_div (mib 26) scale)
+    ~l2_bytes_per_core:(scale_div (mib 2) scale)
+    ~mem_channels_per_socket:8 ~mem_bw_bytes_per_ns_per_channel:4.8 ()
+
+let tiny () =
+  Topology.v ~sockets:1 ~chiplets_per_socket:2 ~cores_per_chiplet:2
+    ~chiplet_group_size:1 ~l3_bytes_per_chiplet:(kib 16)
+    ~l2_bytes_per_core:4096 ~mem_channels_per_socket:2 ()
+
+let intel_profile =
+  {
+    Latency.default_profile with
+    Latency.same_chiplet_ns = 32.0;
+    same_group_ns = 60.0;
+    same_socket_ns = 75.0;
+    cross_socket_ns = 240.0;
+  }

@@ -1,0 +1,114 @@
+type policy = First_touch | Bind of int | Interleave
+
+type region = {
+  base : int;
+  length_bytes : int;
+  elt_bytes : int;
+  mutable region_policy : policy;
+}
+
+type t = {
+  topo : Topology.t;
+  mutable next_base : int;
+  mutable regions : region array;  (* sorted by base *)
+  mutable nregions : int;
+  pagemap : (int, int) Hashtbl.t;  (* page -> node *)
+  node_pages : int array;
+}
+
+let page_bytes = 4096
+
+let create topo =
+  {
+    topo;
+    next_base = page_bytes;  (* keep 0 unmapped to catch stray addresses *)
+    regions = Array.make 16 { base = 0; length_bytes = 0; elt_bytes = 1; region_policy = First_touch };
+    nregions = 0;
+    pagemap = Hashtbl.create 4096;
+    node_pages = Array.make topo.Topology.sockets 0;
+  }
+
+let alloc t ?(policy = First_touch) ~elt_bytes ~count () =
+  if elt_bytes <= 0 || count < 0 then invalid_arg "Simmem.alloc: bad geometry";
+  (match policy with
+  | Bind n when n < 0 || n >= t.topo.Topology.sockets ->
+      invalid_arg "Simmem.alloc: bind node out of range"
+  | _ -> ());
+  let length_bytes = elt_bytes * max count 1 in
+  let region = { base = t.next_base; length_bytes; elt_bytes; region_policy = policy } in
+  let aligned = (length_bytes + page_bytes - 1) / page_bytes * page_bytes in
+  t.next_base <- t.next_base + aligned + page_bytes;  (* guard page *)
+  if t.nregions = Array.length t.regions then begin
+    let bigger = Array.make (2 * t.nregions) region in
+    Array.blit t.regions 0 bigger 0 t.nregions;
+    t.regions <- bigger
+  end;
+  t.regions.(t.nregions) <- region;
+  t.nregions <- t.nregions + 1;
+  region
+
+let addr region i =
+  assert (i >= 0 && i * region.elt_bytes < region.length_bytes);
+  region.base + (i * region.elt_bytes)
+
+let find_region t a =
+  (* binary search: last region with base <= a *)
+  let lo = ref 0 and hi = ref (t.nregions - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.regions.(mid) in
+    if r.base <= a then begin
+      if a < r.base + r.length_bytes then found := Some r;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !found
+
+let node_of_addr t ~toucher_node a =
+  let page = a / page_bytes in
+  match Hashtbl.find_opt t.pagemap page with
+  | Some node -> node
+  | None ->
+      let node =
+        match find_region t a with
+        | None -> toucher_node  (* unmapped: behave like first touch *)
+        | Some r -> (
+            match r.region_policy with
+            | First_touch -> toucher_node
+            | Bind n -> n
+            | Interleave ->
+                (page - (r.base / page_bytes)) mod t.topo.Topology.sockets)
+      in
+      Hashtbl.replace t.pagemap page node;
+      t.node_pages.(node) <- t.node_pages.(node) + 1;
+      node
+
+let rebind t region policy =
+  (match policy with
+  | Bind n when n < 0 || n >= t.topo.Topology.sockets ->
+      invalid_arg "Simmem.rebind: bind node out of range"
+  | _ -> ());
+  region.region_policy <- policy;
+  let first = region.base / page_bytes in
+  let last = (region.base + region.length_bytes - 1) / page_bytes in
+  for page = first to last do
+    match Hashtbl.find_opt t.pagemap page with
+    | None -> ()
+    | Some node ->
+        t.node_pages.(node) <- t.node_pages.(node) - 1;
+        Hashtbl.remove t.pagemap page
+  done
+
+let placed_pages t ~node =
+  if node < 0 || node >= Array.length t.node_pages then
+    invalid_arg "Simmem.placed_pages: node out of range";
+  t.node_pages.(node)
+
+let line_of_addr t a = a / t.topo.Topology.line_bytes
+
+let reset t =
+  t.next_base <- page_bytes;
+  t.nregions <- 0;
+  Hashtbl.reset t.pagemap;
+  Array.fill t.node_pages 0 (Array.length t.node_pages) 0

@@ -1,0 +1,47 @@
+(** Simulated virtual address space with NUMA page placement.
+
+    Workload data values live in ordinary OCaml arrays; this module only
+    assigns {e simulated addresses} to logical allocations and tracks which
+    NUMA node each simulated page resides on.  Placement follows the policy
+    attached to the region, mirroring Linux [set_mempolicy]:
+    first-touch binds a page to the node of the first core touching it,
+    [Bind] forces a node, [Interleave] round-robins pages across nodes. *)
+
+type policy =
+  | First_touch
+  | Bind of int  (** NUMA node *)
+  | Interleave
+
+type t
+
+type region = {
+  base : int;  (** simulated byte address of the first element *)
+  length_bytes : int;
+  elt_bytes : int;
+  mutable region_policy : policy;
+}
+
+val create : Topology.t -> t
+val page_bytes : int
+
+val alloc : t -> ?policy:policy -> elt_bytes:int -> count:int -> unit -> region
+(** Allocate a region of [count] elements of [elt_bytes] bytes each,
+    page-aligned so distinct regions never share a page. *)
+
+val addr : region -> int -> int
+(** Simulated address of element [i].  Bounds are the caller's problem in
+    release mode; checked with [assert]. *)
+
+val node_of_addr : t -> toucher_node:int -> int -> int
+(** NUMA node holding the page of a simulated address, placing the page
+    per the owning region's policy if this is the first touch. *)
+
+val rebind : t -> region -> policy -> unit
+(** Change the region's policy and drop existing page placements so pages
+    migrate on next touch (models [mbind(MPOL_MF_MOVE)] cheaply). *)
+
+val placed_pages : t -> node:int -> int
+(** Number of pages currently resident on [node]. *)
+
+val line_of_addr : t -> int -> int
+val reset : t -> unit

@@ -1,0 +1,69 @@
+type t = {
+  sockets : int;
+  chiplets_per_socket : int;
+  cores_per_chiplet : int;
+  chiplet_group_size : int;
+  l3_bytes_per_chiplet : int;
+  l2_bytes_per_core : int;
+  line_bytes : int;
+  mem_channels_per_socket : int;
+  mem_bw_bytes_per_ns_per_channel : float;
+}
+
+let v ?(chiplet_group_size = 2) ?(l3_bytes_per_chiplet = 32 * 1024 * 1024)
+    ?(l2_bytes_per_core = 512 * 1024) ?(line_bytes = 64)
+    ?(mem_channels_per_socket = 8) ?(mem_bw_bytes_per_ns_per_channel = 4.8)
+    ~sockets ~chiplets_per_socket ~cores_per_chiplet () =
+  if sockets <= 0 || chiplets_per_socket <= 0 || cores_per_chiplet <= 0 then
+    invalid_arg "Topology.v: counts must be positive";
+  if chiplet_group_size <= 0 || chiplets_per_socket mod chiplet_group_size <> 0
+  then invalid_arg "Topology.v: chiplet_group_size must divide chiplets_per_socket";
+  if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Topology.v: line_bytes must be a positive power of two";
+  if l3_bytes_per_chiplet < line_bytes || l2_bytes_per_core < line_bytes then
+    invalid_arg "Topology.v: cache sizes must hold at least one line";
+  if mem_channels_per_socket <= 0 then
+    invalid_arg "Topology.v: mem_channels_per_socket must be positive";
+  {
+    sockets;
+    chiplets_per_socket;
+    cores_per_chiplet;
+    chiplet_group_size;
+    l3_bytes_per_chiplet;
+    l2_bytes_per_core;
+    line_bytes;
+    mem_channels_per_socket;
+    mem_bw_bytes_per_ns_per_channel;
+  }
+
+let num_chiplets t = t.sockets * t.chiplets_per_socket
+let cores_per_socket t = t.chiplets_per_socket * t.cores_per_chiplet
+let num_cores t = t.sockets * cores_per_socket t
+
+let validate_core t core =
+  if core < 0 || core >= num_cores t then
+    invalid_arg (Printf.sprintf "Topology: core %d out of range [0,%d)" core (num_cores t))
+
+let chiplet_of_core t core = core / t.cores_per_chiplet
+let socket_of_core t core = core / cores_per_socket t
+let socket_of_chiplet t chiplet = chiplet / t.chiplets_per_socket
+let group_of_chiplet t chiplet = chiplet / t.chiplet_group_size
+let first_core_of_chiplet t chiplet = chiplet * t.cores_per_chiplet
+
+let cores_of_chiplet t chiplet =
+  let base = first_core_of_chiplet t chiplet in
+  List.init t.cores_per_chiplet (fun i -> base + i)
+
+let chiplets_of_socket t socket =
+  let base = socket * t.chiplets_per_socket in
+  List.init t.chiplets_per_socket (fun i -> base + i)
+
+let same_chiplet t a b = chiplet_of_core t a = chiplet_of_core t b
+let same_socket t a b = socket_of_core t a = socket_of_core t b
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d socket(s) x %d chiplet(s) x %d core(s); L3 %d MiB/chiplet; %d mem ch/socket"
+    t.sockets t.chiplets_per_socket t.cores_per_chiplet
+    (t.l3_bytes_per_chiplet / (1024 * 1024))
+    t.mem_channels_per_socket

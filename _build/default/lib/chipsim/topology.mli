@@ -1,0 +1,67 @@
+(** Physical layout of a chiplet-based CPU.
+
+    A machine is a set of sockets (= NUMA nodes); each socket holds several
+    chiplets (CCDs); each chiplet holds several physical cores sharing one
+    L3 slice.  Chiplets are further grouped into {e quadrants} that share an
+    I/O-die stop, which produces the middle latency band of paper Fig. 3
+    (inter-chiplet but intra-quadrant traffic is cheaper than crossing the
+    whole die). *)
+
+type t = {
+  sockets : int;  (** number of sockets = NUMA nodes *)
+  chiplets_per_socket : int;
+  cores_per_chiplet : int;
+  chiplet_group_size : int;
+      (** chiplets per I/O-die quadrant; must divide [chiplets_per_socket] *)
+  l3_bytes_per_chiplet : int;
+  l2_bytes_per_core : int;
+  line_bytes : int;
+  mem_channels_per_socket : int;
+  mem_bw_bytes_per_ns_per_channel : float;
+      (** calibrated as {e effective} bandwidth per outstanding miss: the
+          simulator issues one access at a time per core (no MLP), so
+          capacities are scaled down ~10x from the parts' raw numbers to
+          keep saturation points realistic *)
+}
+
+val v :
+  ?chiplet_group_size:int ->
+  ?l3_bytes_per_chiplet:int ->
+  ?l2_bytes_per_core:int ->
+  ?line_bytes:int ->
+  ?mem_channels_per_socket:int ->
+  ?mem_bw_bytes_per_ns_per_channel:float ->
+  sockets:int ->
+  chiplets_per_socket:int ->
+  cores_per_chiplet:int ->
+  unit ->
+  t
+(** [v ~sockets ~chiplets_per_socket ~cores_per_chiplet ()] builds a
+    topology, validating that every divisibility constraint holds.
+    @raise Invalid_argument on inconsistent parameters. *)
+
+val num_cores : t -> int
+val num_chiplets : t -> int
+val cores_per_socket : t -> int
+
+val chiplet_of_core : t -> int -> int
+(** Global chiplet index of a global core index. *)
+
+val socket_of_core : t -> int -> int
+val socket_of_chiplet : t -> int -> int
+val group_of_chiplet : t -> int -> int
+(** Quadrant index (global) of a chiplet. *)
+
+val cores_of_chiplet : t -> int -> int list
+(** Ascending list of the core ids located on a chiplet. *)
+
+val first_core_of_chiplet : t -> int -> int
+val chiplets_of_socket : t -> int -> int list
+
+val same_chiplet : t -> int -> int -> bool
+val same_socket : t -> int -> int -> bool
+
+val validate_core : t -> int -> unit
+(** @raise Invalid_argument if the core id is out of range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/memory_manager.ml: Array Chipsim Config List Machine Simmem Topology

@@ -1,0 +1,1 @@
+lib/core/memory_manager.mli: Chipsim Config Machine Simmem

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Chipsim Config Controller Engine Float Machine Placement Profiler Topology

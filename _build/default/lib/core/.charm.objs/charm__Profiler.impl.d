@@ -1,0 +1,1 @@
+lib/core/profiler.ml: Array Chipsim Machine Pmu

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Chipsim Config Controller Engine Float Fun List Machine Memory_manager Placement Policy Profiler Simmem Topology

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Chipsim Config Engine Machine Memory_manager Policy Profiler Simmem

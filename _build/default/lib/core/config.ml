@@ -1,0 +1,42 @@
+type approach = Location_centric | Cache_centric | Adaptive
+
+type t = {
+  scheduler_timer_ns : float;
+  rmt_chip_access_rate : float;
+  approach : approach;
+  initial_spread : int;
+  rebind_memory_on_migrate : bool;
+  profile_while_running : bool;
+  profiler_overhead_ns : float;
+  chiplet_first_steal : bool;
+  decentralized : bool;
+}
+
+let default =
+  {
+    scheduler_timer_ns = 50_000.0;
+    rmt_chip_access_rate = 300.0;
+    approach = Adaptive;
+    initial_spread = 1;
+    rebind_memory_on_migrate = true;
+    profile_while_running = true;
+    profiler_overhead_ns = 40.0;
+    chiplet_first_steal = true;
+    decentralized = true;
+  }
+
+let validate t topo =
+  if t.scheduler_timer_ns <= 0.0 then
+    invalid_arg "Config: scheduler_timer_ns must be positive";
+  if t.rmt_chip_access_rate < 0.0 then
+    invalid_arg "Config: rmt_chip_access_rate must be non-negative";
+  let chiplets = Chipsim.Topology.num_chiplets topo in
+  if t.initial_spread < 1 || t.initial_spread > chiplets then
+    invalid_arg "Config: initial_spread out of [1, chiplets]";
+  if t.profiler_overhead_ns < 0.0 then
+    invalid_arg "Config: profiler_overhead_ns must be non-negative"
+
+let approach_to_string = function
+  | Location_centric -> "location-centric"
+  | Cache_centric -> "cache-centric"
+  | Adaptive -> "adaptive"

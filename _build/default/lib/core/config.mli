@@ -1,0 +1,42 @@
+(** CHARM runtime configuration (paper §4.6).
+
+    The paper's deployment uses a 500 ms scheduler timer and a remote-access
+    threshold of 300 events per interval on real hardware.  In simulation
+    virtual time runs at workload scale, so the defaults here are the same
+    ratio at microsecond scale; both are swept by the sensitivity bench. *)
+
+type approach =
+  | Location_centric
+      (** minimise cross-chiplet communication: consolidate aggressively *)
+  | Cache_centric
+      (** maximise aggregate L3: spread aggressively *)
+  | Adaptive
+      (** switch between the two from profiler feedback (the paper's
+          default controller behaviour) *)
+
+type t = {
+  scheduler_timer_ns : float;  (** Alg. 1 [SCHEDULER_TIMER] *)
+  rmt_chip_access_rate : float;
+      (** Alg. 1 [RMT_CHIP_ACCESS_RATE]: remote fill events per timer
+          interval that trigger spreading *)
+  approach : approach;
+  initial_spread : int;  (** initial [spread_rate]; paper initialises to 1 *)
+  rebind_memory_on_migrate : bool;
+      (** re-home a worker's bound regions when it crosses sockets *)
+  profile_while_running : bool;  (** profiler active (5–10%% overhead) *)
+  profiler_overhead_ns : float;  (** charged per profiling check *)
+  chiplet_first_steal : bool;
+      (** steal from same-chiplet victims first (paper §4.4); [false]
+          switches to random victims (ablation) *)
+  decentralized : bool;
+      (** paper §4.1: each worker decides from its own counters.  [false]
+          switches to a centralized variant (ablation): one arbiter
+          averages all workers' rates and pushes a uniform spread_rate *)
+}
+
+val default : t
+
+val validate : t -> Chipsim.Topology.t -> unit
+(** @raise Invalid_argument on nonsensical values for the topology. *)
+
+val approach_to_string : approach -> string

@@ -1,0 +1,50 @@
+type decision = { threshold : float; mode : Config.approach }
+
+type t = {
+  config : Config.t;
+  mutable last_mode : Config.approach;
+  mutable switches : int;
+}
+
+let create config =
+  { config; last_mode = config.Config.approach; switches = 0 }
+
+(* Approach-specific threshold scaling: location-centric delays spreading
+   (high threshold), cache-centric triggers it eagerly (low threshold). *)
+let location_scale = 4.0
+let cache_scale = 0.25
+
+let concrete_mode t sample =
+  match t.config.Config.approach with
+  | (Config.Location_centric | Config.Cache_centric) as m -> m
+  | Config.Adaptive ->
+      let remote = Profiler.remote_events sample in
+      if remote = 0 then t.last_mode
+      else begin
+        let dram_share = float_of_int sample.Profiler.dram /. float_of_int remote in
+        let chiplet_share =
+          float_of_int sample.Profiler.remote_chiplet /. float_of_int remote
+        in
+        if dram_share > 0.5 then Config.Cache_centric
+        else if chiplet_share > 0.6 then Config.Location_centric
+        else t.last_mode
+      end
+
+let decide t sample =
+  let mode = concrete_mode t sample in
+  (match (mode, t.last_mode) with
+  | Config.Location_centric, Config.Location_centric
+  | Config.Cache_centric, Config.Cache_centric
+  | Config.Adaptive, Config.Adaptive -> ()
+  | _ -> t.switches <- t.switches + 1);
+  t.last_mode <- mode;
+  let base = t.config.Config.rmt_chip_access_rate in
+  let threshold =
+    match mode with
+    | Config.Location_centric -> base *. location_scale
+    | Config.Cache_centric -> base *. cache_scale
+    | Config.Adaptive -> base
+  in
+  { threshold; mode }
+
+let mode_switches t = t.switches

@@ -1,0 +1,24 @@
+(** Adaptive controller (paper §4.1, component 2).
+
+    Turns an {e approach} (guiding principle) into a concrete {e policy}:
+    the effective remote-access threshold the per-worker scheduling policy
+    (Alg. 1) compares against.  In [Adaptive] mode the controller inspects
+    each worker's profiler sample and leans cache-centric when DRAM fills
+    dominate (working set outgrew the current footprint — spread for more
+    aggregate L3) and location-centric when cross-chiplet fills dominate
+    (sharing traffic — consolidate for locality). *)
+
+type decision = {
+  threshold : float;  (** effective [RMT_CHIP_ACCESS_RATE] for this tick *)
+  mode : Config.approach;  (** the concrete approach chosen this tick *)
+}
+
+type t
+
+val create : Config.t -> t
+
+val decide : t -> Profiler.sample -> decision
+(** Per-worker, per-tick policy generation from the latest sample. *)
+
+val mode_switches : t -> int
+(** Number of times adaptive mode changed direction (for stats). *)

@@ -1,0 +1,54 @@
+open Chipsim
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  bindings : int option array;  (* per worker *)
+  owned : Simmem.region list array;  (* per worker *)
+  mutable rebinds : int;
+}
+
+let create config machine ~n_workers =
+  Config.validate config (Machine.topology machine);
+  {
+    config;
+    machine;
+    bindings = Array.make n_workers None;
+    owned = Array.make n_workers [];
+    rebinds = 0;
+  }
+
+let bind_worker t ~worker ~node =
+  let topo = Machine.topology t.machine in
+  if node < 0 || node >= topo.Topology.sockets then
+    invalid_arg "Memory_manager.bind_worker: node out of range";
+  t.bindings.(worker) <- Some node
+
+let worker_node t ~worker = t.bindings.(worker)
+
+let alloc t ~worker ~elt_bytes ~count () =
+  let policy =
+    match t.bindings.(worker) with
+    | Some node -> Simmem.Bind node
+    | None -> Simmem.First_touch
+  in
+  let region = Machine.alloc t.machine ~policy ~elt_bytes ~count () in
+  t.owned.(worker) <- region :: t.owned.(worker);
+  region
+
+let alloc_shared t ?policy ~elt_bytes ~count () =
+  Machine.alloc t.machine ?policy ~elt_bytes ~count ()
+
+let on_migrate t ~worker ~old_core ~new_core =
+  let topo = Machine.topology t.machine in
+  let old_node = Topology.socket_of_core topo old_core in
+  let new_node = Topology.socket_of_core topo new_core in
+  t.bindings.(worker) <- Some new_node;
+  if old_node <> new_node && t.config.Config.rebind_memory_on_migrate then
+    List.iter
+      (fun region ->
+        Simmem.rebind (Machine.mem t.machine) region (Simmem.Bind new_node);
+        t.rebinds <- t.rebinds + 1)
+      t.owned.(worker)
+
+let rebinds t = t.rebinds

@@ -1,0 +1,37 @@
+(** NUMA-aware memory manager (paper §4.1, component 3).
+
+    Tracks a memory policy per worker — the simulated analogue of
+    [set_mempolicy(MPOL_BIND, 1 << numa_node)] in Alg. 2 line 14 — and
+    applies it to the worker's allocations.  On a cross-socket migration it
+    can re-home the worker's bound regions (pages then migrate lazily on
+    next touch), mirroring CHARM's task-completion-time data movement. *)
+
+open Chipsim
+
+type t
+
+val create : Config.t -> Machine.t -> n_workers:int -> t
+
+val bind_worker : t -> worker:int -> node:int -> unit
+(** Set the worker's memory policy to bind to [node]. *)
+
+val worker_node : t -> worker:int -> int option
+(** Current binding, if any. *)
+
+val alloc :
+  t -> worker:int -> elt_bytes:int -> count:int -> unit -> Simmem.region
+(** Allocate following the worker's current policy (bound node, or
+    first-touch when unbound); the region is remembered as worker-owned. *)
+
+val alloc_shared :
+  t -> ?policy:Simmem.policy -> elt_bytes:int -> count:int -> unit ->
+  Simmem.region
+(** Allocation not owned by any worker (shared datasets). *)
+
+val on_migrate : t -> worker:int -> old_core:int -> new_core:int -> unit
+(** Alg. 2 lines 13–14: rebind the worker to the new core's NUMA node and,
+    if the socket changed and the config allows, re-home its owned
+    regions. *)
+
+val rebinds : t -> int
+(** Number of region re-homings performed (data-movement stat). *)

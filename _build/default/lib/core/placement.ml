@@ -1,0 +1,86 @@
+open Chipsim
+
+(* Alg. 2 operates within one socket: CHARM's multi-level NUMA policy
+   (paper §4.6) fills all chiplets of one socket before touching the next,
+   so CHIPLETS in the algorithm is chiplets-per-socket and the worker gang
+   is sliced into per-socket sub-gangs by id.  This also matches the
+   paper's bounds-check example: 64 workers on 8-core chiplets make
+   spread_rate 1 invalid (64 > 1 x 8). *)
+
+let socket_gang_size topo ~n_workers ~socket =
+  let cps = Topology.cores_per_socket topo in
+  let remaining = n_workers - (socket * cps) in
+  max 0 (min cps remaining)
+
+let valid_spread topo ~spread_rate ~n_workers =
+  let chiplets = topo.Topology.chiplets_per_socket in
+  let cpc = topo.Topology.cores_per_chiplet in
+  if spread_rate < 1 || spread_rate > chiplets then false
+  else if n_workers > Topology.num_cores topo then false
+  else begin
+    (* every per-socket sub-gang must fit in spread_rate chiplets *)
+    let ok = ref true in
+    for socket = 0 to topo.Topology.sockets - 1 do
+      let gang = socket_gang_size topo ~n_workers ~socket in
+      if gang > spread_rate * cpc then ok := false
+    done;
+    !ok
+  end
+
+let min_valid_spread topo ~n_workers =
+  let chiplets = topo.Topology.chiplets_per_socket in
+  let rec go k =
+    if k > chiplets then chiplets
+    else if valid_spread topo ~spread_rate:k ~n_workers then k
+    else go (k + 1)
+  in
+  go 1
+
+let numa_node_of_core topo core = core / Topology.cores_per_socket topo
+
+(* Alg. 2 body, applied to the worker's position within its socket's
+   sub-gang.  The published formula (chiplet = id / (cpc/k), slot = id mod
+   (cpc/k), with a wrap branch) is only well-defined when k divides cpc;
+   for other k it collides (e.g. k = 3, cpc = 8 maps ids 0 and 2 to the
+   same core).  We use the natural total version: ids are consumed in
+   passes of [k * g] (g = group size per chiplet per pass), so
+   [(chiplet, slot)] decomposes id bijectively —
+     id = pass * (k*g) + chiplet * g + (slot mod g),  slot = pass*g + ...
+   which coincides with the paper's mapping whenever k | cpc. *)
+let core_of_worker topo ~spread_rate ~n_workers ~worker =
+  if worker < 0 || worker >= n_workers then
+    invalid_arg "Placement.core_of_worker: worker out of range";
+  if not (valid_spread topo ~spread_rate ~n_workers) then None
+  else begin
+    let cpc = topo.Topology.cores_per_chiplet in
+    let cps = Topology.cores_per_socket topo in
+    let socket = worker / cps in
+    let id = worker mod cps in
+    let g = max 1 (cpc / spread_rate) in
+    let stride = spread_rate * g in
+    let pass = id / stride in
+    let pos = id mod stride in
+    let chiplet = pos / g in
+    let slot = (pass * g) + (pos mod g) in
+    if slot >= cpc || chiplet >= topo.Topology.chiplets_per_socket then None
+    else Some ((socket * cps) + (chiplet * cpc) + slot)
+  end
+
+let gang topo ~spread_rate ~n_workers =
+  if not (valid_spread topo ~spread_rate ~n_workers) then None
+  else begin
+    let cores = Array.make n_workers (-1) in
+    let seen = Array.make (Topology.num_cores topo) false in
+    let ok = ref true in
+    for w = 0 to n_workers - 1 do
+      match core_of_worker topo ~spread_rate ~n_workers ~worker:w with
+      | None -> ok := false
+      | Some core ->
+          if seen.(core) then ok := false
+          else begin
+            seen.(core) <- true;
+            cores.(w) <- core
+          end
+    done;
+    if !ok then Some cores else None
+  end

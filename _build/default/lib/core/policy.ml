@@ -1,0 +1,198 @@
+open Chipsim
+
+type stats = {
+  ticks : int;
+  spreads : int;
+  contracts : int;
+  migrations : int;
+  skipped : int;
+}
+
+type worker_state = {
+  mutable spread : int;
+  mutable last_check : float;
+}
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  controller : Controller.t;
+  profiler : Profiler.t;
+  n_workers : int;
+  states : worker_state array;
+  mutable s_ticks : int;
+  mutable s_spreads : int;
+  mutable s_contracts : int;
+  mutable s_migrations : int;
+  mutable s_skipped : int;
+  mutable on_migrate : worker:int -> old_core:int -> new_core:int -> unit;
+}
+
+let create config machine controller profiler ~n_workers =
+  let topo = Machine.topology machine in
+  Config.validate config topo;
+  {
+    config;
+    machine;
+    controller;
+    profiler;
+    n_workers;
+    states =
+      Array.init n_workers (fun _ ->
+          { spread = config.Config.initial_spread; last_check = 0.0 });
+    s_ticks = 0;
+    s_spreads = 0;
+    s_contracts = 0;
+    s_migrations = 0;
+    s_skipped = 0;
+    on_migrate = (fun ~worker:_ ~old_core:_ ~new_core:_ -> ());
+  }
+
+(* Contraction happens only well below the spread trigger: CHARM
+   "preserves the initial task-to-worker-to-core mapping as much as
+   possible" and migrates "only when significant inefficiency is
+   detected" (paper 4.6) — without this dead band the policy oscillates
+   at the capacity boundary and migration churn eats the gains. *)
+let hysteresis = 0.25
+
+let spread_rate t ~worker = t.states.(worker).spread
+let set_on_migrate t f = t.on_migrate <- f
+
+let stats t =
+  {
+    ticks = t.s_ticks;
+    spreads = t.s_spreads;
+    contracts = t.s_contracts;
+    migrations = t.s_migrations;
+    skipped = t.s_skipped;
+  }
+
+(* Alg. 2 application: compute the target core and migrate if it is free.
+   An occupied target (transient, while neighbours still hold older
+   spread_rates) skips the move; the next timer cycle retries. *)
+let update_location t sched ~worker ~core =
+  let topo = Machine.topology t.machine in
+  let st = t.states.(worker) in
+  match
+    Placement.core_of_worker topo ~spread_rate:st.spread ~n_workers:t.n_workers
+      ~worker
+  with
+  | None -> t.s_skipped <- t.s_skipped + 1
+  | Some target when target = core -> ()
+  | Some target -> (
+      match Engine.Sched.worker_of_core sched target with
+      | Some _other -> t.s_skipped <- t.s_skipped + 1
+      | None ->
+          Engine.Sched.migrate sched ~worker ~core:target;
+          t.s_migrations <- t.s_migrations + 1;
+          Profiler.rebase t.profiler ~worker ~core:target;
+          t.on_migrate ~worker ~old_core:core ~new_core:target)
+
+let evaluate t sched ~worker ~now ~elapsed =
+  let core = Engine.Sched.worker_core sched worker in
+  let st = t.states.(worker) in
+  t.s_ticks <- t.s_ticks + 1;
+  let sample = Profiler.read t.profiler ~worker ~core in
+  let counter = float_of_int (Profiler.remote_events sample) in
+  let rate = counter *. t.config.Config.scheduler_timer_ns /. elapsed in
+  let decision = Controller.decide t.controller sample in
+  let topo = Machine.topology t.machine in
+  let chiplets = topo.Topology.chiplets_per_socket in
+  let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
+  if rate >= decision.Controller.threshold then begin
+    if st.spread < chiplets then begin
+      st.spread <- st.spread + 1;
+      t.s_spreads <- t.s_spreads + 1
+    end
+  end
+  else if rate < hysteresis *. decision.Controller.threshold
+          && st.spread > min_spread then begin
+    (* Alg. 1 decrements to 1, but values below the Alg. 2 bounds check can
+       never be applied; clamping at the smallest valid spread avoids a
+       long invalid-retry climb when the rate rises again. *)
+    st.spread <- st.spread - 1;
+    t.s_contracts <- t.s_contracts + 1
+  end;
+  update_location t sched ~worker ~core:(Engine.Sched.worker_core sched worker);
+  st.last_check <- now;
+  let current_core = Engine.Sched.worker_core sched worker in
+  Profiler.reset t.profiler ~worker ~core:current_core
+
+(* Centralized ablation (DESIGN.md #1): worker 0 is a global arbiter that
+   collects every worker's counters (paying a cross-core read per worker —
+   the coordination cost the paper's decentralization avoids), averages
+   the rate, and pushes one uniform spread_rate to the whole gang. *)
+let centralized_evaluate t sched ~now ~elapsed =
+  let machine = t.machine in
+  t.s_ticks <- t.s_ticks + 1;
+  let arbiter_core = Engine.Sched.worker_core sched 0 in
+  let total = ref 0 in
+  let agg = ref { Profiler.local_hits = 0; remote_chiplet = 0; remote_numa = 0; dram = 0 } in
+  for w = 0 to t.n_workers - 1 do
+    let core = Engine.Sched.worker_core sched w in
+    let sample = Profiler.read t.profiler ~worker:w ~core in
+    total := !total + Profiler.remote_events sample;
+    agg :=
+      {
+        Profiler.local_hits = !agg.Profiler.local_hits + sample.Profiler.local_hits;
+        remote_chiplet = !agg.Profiler.remote_chiplet + sample.Profiler.remote_chiplet;
+        remote_numa = !agg.Profiler.remote_numa + sample.Profiler.remote_numa;
+        dram = !agg.Profiler.dram + sample.Profiler.dram;
+      };
+    (* global data collection: one cross-core transfer per worker *)
+    Engine.Sched.charge sched ~worker:0 (Machine.core_to_core_ns machine arbiter_core core)
+  done;
+  let rate =
+    float_of_int !total /. float_of_int t.n_workers
+    *. t.config.Config.scheduler_timer_ns /. elapsed
+  in
+  let decision = Controller.decide t.controller !agg in
+  let topo = Machine.topology machine in
+  let chiplets = topo.Topology.chiplets_per_socket in
+  let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
+  let global = t.states.(0).spread in
+  let global =
+    if rate >= decision.Controller.threshold then begin
+      if global < chiplets then begin
+        t.s_spreads <- t.s_spreads + 1;
+        global + 1
+      end
+      else global
+    end
+    else if rate < hysteresis *. decision.Controller.threshold && global > min_spread
+    then begin
+      t.s_contracts <- t.s_contracts + 1;
+      global - 1
+    end
+    else global
+  in
+  for w = 0 to t.n_workers - 1 do
+    let st = t.states.(w) in
+    st.spread <- global;
+    update_location t sched ~worker:w ~core:(Engine.Sched.worker_core sched w);
+    st.last_check <- now;
+    Profiler.reset t.profiler ~worker:w ~core:(Engine.Sched.worker_core sched w)
+  done
+
+let tick t sched ~worker =
+  if t.config.Config.profile_while_running then begin
+    if t.config.Config.decentralized then begin
+      let now = Engine.Sched.worker_clock sched worker in
+      let st = t.states.(worker) in
+      let elapsed = now -. st.last_check in
+      if elapsed >= t.config.Config.scheduler_timer_ns then
+        evaluate t sched ~worker ~now ~elapsed
+    end
+    else if worker = 0 then begin
+      let now = Engine.Sched.worker_clock sched 0 in
+      let elapsed = now -. t.states.(0).last_check in
+      if elapsed >= t.config.Config.scheduler_timer_ns then
+        centralized_evaluate t sched ~now ~elapsed
+    end
+  end
+
+let force_tick t sched ~worker =
+  let now = Engine.Sched.worker_clock sched worker in
+  let st = t.states.(worker) in
+  let elapsed = Float.max (now -. st.last_check) 1.0 in
+  evaluate t sched ~worker ~now ~elapsed

@@ -1,0 +1,37 @@
+(** Alg. 1 — the decentralized Chiplet Scheduling Policy.
+
+    Each worker periodically (every [SCHEDULER_TIMER] of virtual time)
+    inspects its own cache-fill counter, computes the remote-access rate,
+    and widens ([spread_rate + 1]) or narrows ([spread_rate - 1]) its gang
+    footprint, then asks Alg. 2 for its new core.  Decisions use only
+    worker-local observations — there is no central arbiter (paper §4.1). *)
+
+open Chipsim
+
+type stats = {
+  ticks : int;  (** timer expirations evaluated *)
+  spreads : int;  (** spread_rate increments *)
+  contracts : int;  (** spread_rate decrements *)
+  migrations : int;  (** affinity changes actually applied *)
+  skipped : int;  (** migrations skipped (invalid bounds or occupied core) *)
+}
+
+type t
+
+val create :
+  Config.t -> Machine.t -> Controller.t -> Profiler.t -> n_workers:int -> t
+
+val spread_rate : t -> worker:int -> int
+
+val tick : t -> Engine.Sched.t -> worker:int -> unit
+(** Run one Alg. 1 evaluation for [worker] if its timer elapsed.  Intended
+    as the scheduler's [on_quantum_end] hook.  Applies the migration via
+    {!Engine.Sched.migrate} and rebinds the worker's memory policy. *)
+
+val force_tick : t -> Engine.Sched.t -> worker:int -> unit
+(** Evaluate immediately, ignoring the timer (used by tests/benches). *)
+
+val stats : t -> stats
+
+val set_on_migrate : t -> (worker:int -> old_core:int -> new_core:int -> unit) -> unit
+(** Callback invoked after every applied migration (memory manager hook). *)

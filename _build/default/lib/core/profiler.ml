@@ -1,0 +1,62 @@
+open Chipsim
+
+type sample = {
+  local_hits : int;
+  remote_chiplet : int;
+  remote_numa : int;
+  dram : int;
+}
+
+let remote_events s = s.remote_chiplet + s.remote_numa + s.dram
+
+let zero = { local_hits = 0; remote_chiplet = 0; remote_numa = 0; dram = 0 }
+
+let add a b =
+  {
+    local_hits = a.local_hits + b.local_hits;
+    remote_chiplet = a.remote_chiplet + b.remote_chiplet;
+    remote_numa = a.remote_numa + b.remote_numa;
+    dram = a.dram + b.dram;
+  }
+
+type t = {
+  machine : Machine.t;
+  baselines : sample array;  (* per worker: counter values at last reset *)
+  consumed : sample array;  (* per worker: total deltas seen *)
+}
+
+let create machine ~n_workers =
+  if n_workers <= 0 then invalid_arg "Profiler.create: n_workers must be positive";
+  {
+    machine;
+    baselines = Array.make n_workers zero;
+    consumed = Array.make n_workers zero;
+  }
+
+let raw t ~core =
+  let pmu = Machine.pmu t.machine in
+  {
+    local_hits = Pmu.read pmu ~core Pmu.L3_local_hit;
+    remote_chiplet = Pmu.read pmu ~core Pmu.Fill_remote_chiplet;
+    remote_numa = Pmu.read pmu ~core Pmu.Fill_remote_numa;
+    dram = Pmu.read pmu ~core Pmu.Dram_local + Pmu.read pmu ~core Pmu.Dram_remote;
+  }
+
+let read t ~worker ~core =
+  let now = raw t ~core in
+  let base = t.baselines.(worker) in
+  {
+    local_hits = now.local_hits - base.local_hits;
+    remote_chiplet = now.remote_chiplet - base.remote_chiplet;
+    remote_numa = now.remote_numa - base.remote_numa;
+    dram = now.dram - base.dram;
+  }
+
+let reset t ~worker ~core =
+  let delta = read t ~worker ~core in
+  t.consumed.(worker) <- add t.consumed.(worker) delta;
+  t.baselines.(worker) <- raw t ~core
+
+let cumulative t ~worker = t.consumed.(worker)
+
+let rebase t ~worker ~core = t.baselines.(worker) <- raw t ~core

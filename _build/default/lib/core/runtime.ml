@@ -1,0 +1,115 @@
+open Chipsim
+module Sched = Engine.Sched
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  sched : Sched.t;
+  profiler : Profiler.t;
+  controller : Controller.t;
+  policy : Policy.t;
+  memory : Memory_manager.t;
+  n_workers : int;
+  mutable makespan : float;
+}
+
+let init ?(config = Config.default) ?(sched_config = Sched.default_config)
+    machine ~n_workers =
+  let topo = Machine.topology machine in
+  Config.validate config topo;
+  if n_workers > Topology.num_cores topo then
+    invalid_arg "Runtime.init: more workers than physical cores";
+  let spread0 =
+    let s = config.Config.initial_spread in
+    if Placement.valid_spread topo ~spread_rate:s ~n_workers then s
+    else Placement.min_valid_spread topo ~n_workers
+  in
+  let placement w =
+    match Placement.core_of_worker topo ~spread_rate:spread0 ~n_workers ~worker:w with
+    | Some core -> core
+    | None -> invalid_arg "Runtime.init: no valid placement for the gang"
+  in
+  let sched = Sched.create ~config:sched_config machine ~n_workers ~placement in
+  let profiler = Profiler.create machine ~n_workers in
+  let controller = Controller.create config in
+  let config = { config with Config.initial_spread = spread0 } in
+  let policy = Policy.create config machine controller profiler ~n_workers in
+  let memory = Memory_manager.create config machine ~n_workers in
+  Policy.set_on_migrate policy (fun ~worker ~old_core ~new_core ->
+      Memory_manager.on_migrate memory ~worker ~old_core ~new_core);
+  (* initial memory bindings follow the initial placement *)
+  for w = 0 to n_workers - 1 do
+    Memory_manager.bind_worker memory ~worker:w
+      ~node:(Placement.numa_node_of_core topo (Sched.worker_core sched w))
+  done;
+  let t =
+    { config; machine; sched; profiler; controller; policy; memory; n_workers; makespan = 0.0 }
+  in
+  let steal_rng = Engine.Rng.create 0x51ea1 in
+  let hooks =
+    {
+      Sched.on_quantum_end =
+        (fun sched worker ->
+          if config.Config.profile_while_running then begin
+            Sched.charge sched ~worker config.Config.profiler_overhead_ns;
+            Policy.tick policy sched ~worker
+          end);
+      steal_order =
+        (fun sched ~thief ->
+          if config.Config.chiplet_first_steal then
+            (Sched.no_hooks).Sched.steal_order sched ~thief
+          else begin
+            let n = Sched.n_workers sched in
+            let others = Array.of_list (List.filter (fun w -> w <> thief) (List.init n Fun.id)) in
+            Engine.Rng.shuffle steal_rng others;
+            others
+          end);
+    }
+  in
+  Sched.set_hooks sched hooks;
+  t
+
+let sched t = t.sched
+let machine t = t.machine
+let config t = t.config
+let n_workers t = t.n_workers
+let policy t = t.policy
+let memory t = t.memory
+let profiler t = t.profiler
+
+let alloc_shared t ?policy ~elt_bytes ~count () =
+  Memory_manager.alloc_shared t.memory ?policy ~elt_bytes ~count ()
+
+let run t main =
+  ignore (Sched.spawn t.sched ~worker:0 main : Sched.task);
+  let makespan = Sched.run t.sched in
+  t.makespan <- Float.max t.makespan makespan;
+  makespan
+
+let all_do t f =
+  for w = 0 to t.n_workers - 1 do
+    ignore (Sched.spawn t.sched ~worker:w (fun ctx -> f ctx w) : Sched.task)
+  done;
+  let makespan = Sched.run t.sched in
+  t.makespan <- Float.max t.makespan makespan;
+  makespan
+
+let finalize t = Engine.Stats.collect t.machine ~makespan_ns:t.makespan
+let last_makespan t = t.makespan
+let barrier t = Engine.Barrier.create t.n_workers
+
+module Api = struct
+  let alloc ctx ~elt_bytes ~count () =
+    (* Alg. 2 binds a worker's memory policy to its current core's node;
+       task-side allocations therefore bind to the caller's socket. *)
+    let machine = Sched.Ctx.machine ctx in
+    let topo = Machine.topology machine in
+    let node = Topology.socket_of_core topo (Sched.Ctx.core ctx) in
+    Machine.alloc machine ~policy:(Simmem.Bind node) ~elt_bytes ~count ()
+
+  let call = Engine.Par.call
+  let call_sync = Engine.Par.call_sync
+  let all_do = Engine.Par.all_do
+  let parallel_for = Engine.Par.parallel_for
+  let barrier_wait ctx b = Engine.Barrier.wait ctx b
+end

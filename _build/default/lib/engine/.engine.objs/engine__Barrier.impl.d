@@ -1,0 +1,1 @@
+lib/engine/barrier.ml: Chipsim Float Latency List Machine Sched

@@ -1,0 +1,1 @@
+lib/engine/barrier.mli: Sched

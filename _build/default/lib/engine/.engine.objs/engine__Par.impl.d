@@ -1,0 +1,1 @@
+lib/engine/par.ml: Chipsim List Machine Sched

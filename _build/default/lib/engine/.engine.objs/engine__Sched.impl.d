@@ -1,0 +1,1 @@
+lib/engine/sched.ml: Array Chipsim Coroutine Float Latency List Machine Option Pmu Printf Rng Simmem Topology Wsqueue

@@ -1,0 +1,1 @@
+lib/engine/sched.mli: Chipsim Machine Rng Simmem

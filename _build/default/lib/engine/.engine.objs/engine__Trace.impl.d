@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Buffer Float List Printf Sched

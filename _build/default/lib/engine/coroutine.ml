@@ -1,0 +1,72 @@
+type outcome = Yielded | Suspended | Finished
+
+type t = { cid : int; mutable state : state; mutable last : outcome }
+
+and state =
+  | Created of (unit -> unit)
+  | Parked of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished_
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : (t -> unit) -> unit Effect.t
+
+let counter = ref 0
+
+let create f =
+  incr counter;
+  { cid = !counter; state = Created f; last = Finished }
+
+let id t = t.cid
+let is_done t = t.state = Finished_
+
+let is_parked t =
+  match t.state with Created _ | Parked _ -> true | Running | Finished_ -> false
+
+let yield () = Effect.perform Yield
+let suspend register = Effect.perform (Suspend register)
+
+(* The deep handler is installed once, at the first resume; it must write
+   through the coroutine record (not a per-resume cell) because it stays in
+   scope for every later [continue]. *)
+let handler t : (unit, unit) Effect.Deep.handler =
+  {
+    retc =
+      (fun () ->
+        t.state <- Finished_;
+        t.last <- Finished);
+    exnc =
+      (fun e ->
+        t.state <- Finished_;
+        t.last <- Finished;
+        raise e);
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (c, unit) Effect.Deep.continuation) ->
+                t.state <- Parked k;
+                t.last <- Yielded)
+        | Suspend register ->
+            Some
+              (fun (k : (c, unit) Effect.Deep.continuation) ->
+                t.state <- Parked k;
+                t.last <- Suspended;
+                register t)
+        | _ -> None);
+  }
+
+let resume t =
+  match t.state with
+  | Created f ->
+      t.state <- Running;
+      Effect.Deep.match_with f () (handler t);
+      t.last
+  | Parked k ->
+      t.state <- Running;
+      Effect.Deep.continue k ();
+      t.last
+  | Running -> invalid_arg "Coroutine.resume: already running"
+  | Finished_ -> invalid_arg "Coroutine.resume: already finished"

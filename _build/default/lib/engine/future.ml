@@ -1,0 +1,46 @@
+type 'a state =
+  | Pending of Sched.task list  (* waiting tasks *)
+  | Done of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Pending [] }
+
+let is_fulfilled t = match t.state with Done _ -> true | Pending _ -> false
+let peek t = match t.state with Done v -> Some v | Pending _ -> None
+
+let fulfill ctx t v =
+  match t.state with
+  | Done _ -> invalid_arg "Future.fulfill: already fulfilled"
+  | Pending waiters ->
+      t.state <- Done v;
+      let sched = Sched.Ctx.sched ctx in
+      let now = Sched.Ctx.now ctx in
+      List.iter (fun task -> Sched.ready sched ~at:now task) waiters
+
+let await ctx t =
+  match t.state with
+  | Done v -> v
+  | Pending _ ->
+      Sched.Ctx.suspend ctx (fun task ->
+          match t.state with
+          | Pending waiters -> t.state <- Pending (task :: waiters)
+          | Done _ ->
+              (* fulfilled between the check and the park: wake ourselves *)
+              Sched.ready (Sched.Ctx.sched ctx) task);
+      (match t.state with
+      | Done v -> v
+      | Pending _ -> assert false)
+
+let spawn sched ?worker f =
+  let t = create () in
+  ignore
+    (Sched.spawn sched ?worker (fun ctx -> fulfill ctx t (f ctx)) : Sched.task);
+  t
+
+let spawn_at ctx ?worker f =
+  let t = create () in
+  ignore
+    (Sched.Ctx.spawn ctx ?worker (fun ctx' -> fulfill ctx' t (f ctx'))
+      : Sched.task);
+  t

@@ -1,0 +1,28 @@
+(** Typed single-assignment futures over {!Sched} tasks.
+
+    The paper's [call()] API has synchronous and asynchronous flavours;
+    futures give the asynchronous one a result channel: a producer task
+    fulfills once, any number of consumer tasks await the value
+    (suspending until it arrives). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fulfill : Sched.ctx -> 'a t -> 'a -> unit
+(** Publish the value and wake all waiters.
+    @raise Invalid_argument if already fulfilled. *)
+
+val is_fulfilled : 'a t -> bool
+
+val await : Sched.ctx -> 'a t -> 'a
+(** The value, suspending the calling task until {!fulfill} runs. *)
+
+val peek : 'a t -> 'a option
+
+val spawn : Sched.t -> ?worker:int -> (Sched.ctx -> 'a) -> 'a t
+(** Run a function as a task; its return value fulfills the future. *)
+
+val spawn_at : Sched.ctx -> ?worker:int -> (Sched.ctx -> 'a) -> 'a t
+(** Same, from inside a task (child defaults to the caller's worker and,
+    like {!Par.call}, is immediately runnable). *)

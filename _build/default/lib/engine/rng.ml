@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipfian generator (Gray et al., SIGMOD'94), as used by YCSB: constants
+   depend only on (n, theta), memoised per generator call site. *)
+let zipf_cache : (int * int, float * float * float) Hashtbl.t = Hashtbl.create 8
+
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Rng.zipf: theta must be in [0, 1)";
+  if theta = 0.0 then int t n
+  else begin
+    let key = (n, int_of_float (theta *. 1_000_000.0)) in
+    let zetan, alpha, eta =
+      match Hashtbl.find_opt zipf_cache key with
+      | Some c -> c
+      | None ->
+          let zetan = ref 0.0 in
+          for i = 1 to n do
+            zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
+          done;
+          let zeta2 = 1.0 +. (1.0 /. Float.pow 2.0 theta) in
+          let alpha = 1.0 /. (1.0 -. theta) in
+          let eta =
+            (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+            /. (1.0 -. (zeta2 /. !zetan))
+          in
+          let c = (!zetan, alpha, eta) in
+          Hashtbl.replace zipf_cache key c;
+          c
+    in
+    let u = float t 1.0 in
+    let uz = u *. zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 theta then 1
+    else
+      let v =
+        float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+      in
+      min (n - 1) (int_of_float v)
+  end

@@ -1,0 +1,522 @@
+open Chipsim
+
+exception Deadlock
+
+type task_model =
+  | Coroutines of { switch_ns : float }
+  | Os_threads of { spawn_ns : float; switch_ns : float }
+
+type config = {
+  task_model : task_model;
+  steal_enabled : bool;
+  max_accesses_per_quantum : int;
+  idle_quantum_ns : float;
+  migration_cost_ns : float;
+}
+
+let default_config =
+  {
+    task_model = Coroutines { switch_ns = 30.0 };
+    steal_enabled = true;
+    max_accesses_per_quantum = 2048;
+    idle_quantum_ns = 400.0;
+    migration_cost_ns = 1500.0;
+  }
+
+type t = {
+  machine : Machine.t;
+  config : config;
+  mutable hooks : hooks;
+  workers : worker array;
+  core_owner : int array;  (* core -> worker id, -1 if free *)
+  heap : heap;
+  mutable live : int;
+  mutable spawned : int;
+  mutable runnable : int;
+  mutable rr : int;  (* round-robin spawn cursor *)
+  mutable samples : (float * int) array;
+  mutable nsamples : int;
+  rng : Rng.t;
+}
+
+and worker = {
+  wid : int;
+  mutable core : int;
+  mutable clock : float;
+  mutable busy_clock : float;  (* clock at the end of the last real quantum *)
+  mutable did_work : bool;
+  mutable parked : bool;  (* out of the heap, waiting for an enqueue *)
+  queue : task Wsqueue.t;
+  wrng : Rng.t;
+  mutable accesses : int;  (* this quantum *)
+}
+
+and task = {
+  tid : int;
+  mutable coro : Coroutine.t option;
+  mutable ready_at : float;
+  mutable last_worker : int;
+  mutable finished : bool;
+  mutable waiters : task list;
+}
+
+and ctx = { csched : t; ctask : task }
+
+and hooks = {
+  on_quantum_end : t -> int -> unit;
+  steal_order : t -> thief:int -> int array;
+}
+
+(* -- min-heap of (clock, worker id) with lazy deletion ------------------- *)
+and heap = {
+  mutable keys : float array;
+  mutable vals : int array;
+  mutable size : int;
+}
+
+let heap_create n = { keys = Array.make (max n 4) 0.0; vals = Array.make (max n 4) 0; size = 0 }
+
+let heap_push h key v =
+  if h.size = Array.length h.keys then begin
+    let keys = Array.make (2 * h.size) 0.0 and vals = Array.make (2 * h.size) 0 in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.vals 0 vals 0 h.size;
+    h.keys <- keys;
+    h.vals <- vals
+  end;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.keys.(!i) <- key;
+  h.vals.(!i) <- v;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(!i) then begin
+      let tk = h.keys.(parent) and tv = h.vals.(parent) in
+      h.keys.(parent) <- h.keys.(!i);
+      h.vals.(parent) <- h.vals.(!i);
+      h.keys.(!i) <- tk;
+      h.vals.(!i) <- tv;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let heap_pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      let i = ref 0 and continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+        if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tk = h.keys.(!smallest) and tv = h.vals.(!smallest) in
+          h.keys.(!smallest) <- h.keys.(!i);
+          h.vals.(!smallest) <- h.vals.(!i);
+          h.keys.(!i) <- tk;
+          h.vals.(!i) <- tv;
+          i := !smallest
+        end
+        else continue_ := false
+      done
+    end;
+    Some (key, v)
+  end
+
+(* ------------------------------------------------------------------------ *)
+
+let distance_rank topo a b =
+  match Latency.classify topo a b with
+  | Latency.Same_core -> 0
+  | Latency.Same_chiplet -> 1
+  | Latency.Same_group -> 2
+  | Latency.Same_socket -> 3
+  | Latency.Cross_socket -> 4
+
+let default_steal_order t ~thief =
+  let my_core = t.workers.(thief).core in
+  let topo = Machine.topology t.machine in
+  let others =
+    Array.of_list
+      (List.filter_map
+         (fun w -> if w.wid = thief then None else Some w.wid)
+         (Array.to_list t.workers))
+  in
+  let rank wid = distance_rank topo my_core t.workers.(wid).core in
+  Array.sort (fun a b -> compare (rank a, a) (rank b, b)) others;
+  others
+
+let no_hooks =
+  { on_quantum_end = (fun _ _ -> ()); steal_order = (fun t ~thief -> default_steal_order t ~thief) }
+
+let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~placement =
+  if n_workers <= 0 then invalid_arg "Sched.create: n_workers must be positive";
+  let topo = Machine.topology machine in
+  let cores = Topology.num_cores topo in
+  let core_owner = Array.make cores (-1) in
+  let rng = Rng.create 0x5eed in
+  let workers =
+    Array.init n_workers (fun wid ->
+        let core = placement wid in
+        Topology.validate_core topo core;
+        if core_owner.(core) <> -1 then
+          invalid_arg
+            (Printf.sprintf "Sched.create: core %d assigned to workers %d and %d"
+               core core_owner.(core) wid);
+        core_owner.(core) <- wid;
+        {
+          wid;
+          core;
+          clock = 0.0;
+          busy_clock = 0.0;
+          did_work = false;
+          parked = false;
+          queue = Wsqueue.create ();
+          wrng = Rng.split rng;
+          accesses = 0;
+        })
+  in
+  let heap = heap_create n_workers in
+  Array.iter (fun w -> heap_push heap w.clock w.wid) workers;
+  {
+    machine;
+    config;
+    hooks;
+    workers;
+    core_owner;
+    heap;
+    live = 0;
+    spawned = 0;
+    runnable = 0;
+    rr = 0;
+    samples = Array.make 256 (0.0, 0);
+    nsamples = 0;
+    rng;
+  }
+
+let machine t = t.machine
+let n_workers t = Array.length t.workers
+let config t = t.config
+let set_hooks t hooks = t.hooks <- hooks
+let worker_core t w = t.workers.(w).core
+let worker_clock t w = t.workers.(w).clock
+
+let worker_of_core t core =
+  if core < 0 || core >= Array.length t.core_owner then None
+  else if t.core_owner.(core) = -1 then None
+  else Some t.core_owner.(core)
+
+let queue_length t w = Wsqueue.length t.workers.(w).queue
+let live_tasks t = t.live
+let total_spawned t = t.spawned
+
+let sample t now =
+  if t.nsamples = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.nsamples) (0.0, 0) in
+    Array.blit t.samples 0 bigger 0 t.nsamples;
+    t.samples <- bigger
+  end;
+  t.samples.(t.nsamples) <- (now, t.live);
+  t.nsamples <- t.nsamples + 1
+
+let concurrency_samples t = Array.sub t.samples 0 t.nsamples
+
+let migrate t ~worker ~core =
+  let w = t.workers.(worker) in
+  if w.core <> core then begin
+    let topo = Machine.topology t.machine in
+    Topology.validate_core topo core;
+    if t.core_owner.(core) <> -1 then
+      invalid_arg
+        (Printf.sprintf "Sched.migrate: core %d already owned by worker %d" core
+           t.core_owner.(core));
+    t.core_owner.(w.core) <- -1;
+    t.core_owner.(core) <- worker;
+    w.core <- core;
+    w.clock <- w.clock +. t.config.migration_cost_ns;
+    Pmu.incr (Machine.pmu t.machine) ~core Pmu.Migration
+  end
+
+let task_counter = ref 0
+let task_id task = task.tid
+let task_is_done task = task.finished
+
+let make_task t body ~worker ~at =
+  incr task_counter;
+  let task =
+    { tid = !task_counter; coro = None; ready_at = at; last_worker = worker; finished = false; waiters = [] }
+  in
+  let ctx = { csched = t; ctask = task } in
+  task.coro <- Some (Coroutine.create (fun () -> body ctx));
+  task
+
+let unpark t w ~at =
+  if w.parked then begin
+    w.parked <- false;
+    if at > w.clock then w.clock <- at;
+    heap_push t.heap w.clock w.wid
+  end
+
+(* Wake the parked worker closest to [near] so it can steal. *)
+let wake_one_thief t ~near ~at =
+  let topo = Machine.topology t.machine in
+  let best = ref None and best_rank = ref max_int in
+  Array.iter
+    (fun w ->
+      if w.parked then begin
+        let r = distance_rank topo near.core w.core in
+        if r < !best_rank then begin
+          best_rank := r;
+          best := Some w
+        end
+      end)
+    t.workers;
+  match !best with Some w -> unpark t w ~at | None -> ()
+
+let enqueue t task =
+  let w = t.workers.(task.last_worker) in
+  Wsqueue.push w.queue task;
+  t.runnable <- t.runnable + 1;
+  unpark t w ~at:task.ready_at;
+  if t.config.steal_enabled && Wsqueue.length w.queue >= 2 then
+    wake_one_thief t ~near:w ~at:(Float.max w.clock task.ready_at)
+
+let spawn t ?worker ?(at = 0.0) body =
+  let worker =
+    match worker with
+    | Some w ->
+        if w < 0 || w >= Array.length t.workers then
+          invalid_arg "Sched.spawn: worker out of range";
+        w
+    | None ->
+        let w = t.rr in
+        t.rr <- (t.rr + 1) mod Array.length t.workers;
+        w
+  in
+  let task = make_task t body ~worker ~at in
+  t.live <- t.live + 1;
+  t.spawned <- t.spawned + 1;
+  enqueue t task;
+  task
+
+let ready t ?at task =
+  if task.finished then invalid_arg "Sched.ready: task already finished";
+  (match at with Some at -> task.ready_at <- Float.max task.ready_at at | None -> ());
+  enqueue t task
+
+(* Pop a ready task from the worker's own queue, rotating not-yet-ready
+   tasks to the back; if only future tasks exist, advance the clock. *)
+let rec pop_own t w =
+  let len = Wsqueue.length w.queue in
+  if len = 0 then None
+  else begin
+    let min_ready = ref infinity in
+    let rec go i =
+      if i >= len then None
+      else
+        match Wsqueue.pop_front w.queue with
+        | None -> None
+        | Some task ->
+            if task.ready_at <= w.clock then Some task
+            else begin
+              if task.ready_at < !min_ready then min_ready := task.ready_at;
+              Wsqueue.push w.queue task;
+              go (i + 1)
+            end
+    in
+    match go 0 with
+    | Some task -> Some task
+    | None ->
+        w.clock <- !min_ready;
+        pop_own t w
+  end
+
+let try_steal t w =
+  if not t.config.steal_enabled then None
+  else begin
+    let order = t.hooks.steal_order t ~thief:w.wid in
+    let topo = Machine.topology t.machine in
+    let rec go i =
+      if i >= Array.length order then None
+      else begin
+        let victim = t.workers.(order.(i)) in
+        match Wsqueue.steal victim.queue with
+        | Some task ->
+            let cost =
+              2.0 *. Latency.core_to_core_ns ~profile:(Machine.profile t.machine) topo w.core victim.core
+            in
+            w.clock <- w.clock +. cost;
+            Pmu.incr (Machine.pmu t.machine) ~core:w.core Pmu.Task_stolen;
+            if not (Wsqueue.is_empty victim.queue) then
+              wake_one_thief t ~near:victim ~at:w.clock;
+            Some task
+        | None -> go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let next_task t w =
+  match pop_own t w with
+  | Some task ->
+      t.runnable <- t.runnable - 1;
+      Some task
+  | None -> (
+      match try_steal t w with
+      | Some task ->
+          t.runnable <- t.runnable - 1;
+          Some task
+      | None -> None)
+
+let execute t w task =
+  if task.ready_at > w.clock then w.clock <- task.ready_at;
+  w.accesses <- 0;
+  let pmu = Machine.pmu t.machine in
+  (match t.config.task_model with
+  | Coroutines { switch_ns } -> w.clock <- w.clock +. switch_ns
+  | Os_threads { switch_ns; _ } ->
+      (* oversubscription: kernel switching degrades with the ratio of
+         runnable threads to cores *)
+      let over = float_of_int t.live /. float_of_int (Array.length t.workers) in
+      w.clock <- w.clock +. (switch_ns *. Float.max 1.0 over));
+  Pmu.incr pmu ~core:w.core Pmu.Context_switch;
+  task.last_worker <- w.wid;
+  let coro = Option.get task.coro in
+  (match Coroutine.resume coro with
+  | Coroutine.Yielded -> enqueue t task
+  | Coroutine.Suspended -> ()
+  | Coroutine.Finished ->
+      task.finished <- true;
+      t.live <- t.live - 1;
+      Pmu.incr pmu ~core:w.core Pmu.Task_executed;
+      sample t w.clock;
+      let waiters = task.waiters in
+      task.waiters <- [];
+      List.iter (fun waiter -> ready t ~at:w.clock waiter) waiters);
+  w.did_work <- true;
+  w.busy_clock <- w.clock;
+  t.hooks.on_quantum_end t w.wid
+
+let run t =
+  let rec loop () =
+    if t.live = 0 then ()
+    else begin
+      match heap_pop t.heap with
+      | None ->
+          (* every worker parked while tasks remain: they are all suspended
+             with nobody left to wake them *)
+          raise Deadlock
+      | Some (key, wid) ->
+          let w = t.workers.(wid) in
+          if key < w.clock then begin
+            (* stale heap entry; reinsert with the fresh clock *)
+            heap_push t.heap w.clock wid;
+            loop ()
+          end
+          else begin
+            (match next_task t w with
+            | Some task ->
+                execute t w task;
+                heap_push t.heap w.clock wid
+            | None ->
+                (* Nothing to run or steal: park until an enqueue wakes us.
+                   A short idle advance models the real polling interval. *)
+                w.clock <- w.clock +. t.config.idle_quantum_ns;
+                w.parked <- true);
+            loop ()
+          end
+    end
+  in
+  loop ();
+  Array.fold_left (fun acc w -> if w.did_work then Float.max acc w.busy_clock else acc) 0.0 t.workers
+
+module Ctx = struct
+  let sched c = c.csched
+  let machine c = c.csched.machine
+
+  let worker c = c.csched.workers.(c.ctask.last_worker)
+  let now c = (worker c).clock
+  let worker_id c = c.ctask.last_worker
+  let core c = (worker c).core
+  let rng c = (worker c).wrng
+  let current_task c = c.ctask
+
+  let charge c ns =
+    let w = worker c in
+    w.clock <- w.clock +. ns
+
+  let access_addr c ~write addr =
+    let w = worker c in
+    let cost = Machine.access c.csched.machine ~core:w.core ~now_ns:w.clock ~write addr in
+    w.clock <- w.clock +. cost;
+    w.accesses <- w.accesses + 1
+
+  let read c region i =
+    access_addr c ~write:false (Simmem.addr region i)
+
+  let write c region i = access_addr c ~write:true (Simmem.addr region i)
+
+  (* Long ranges are charged in bounded chunks with a yield in between so
+     concurrent workers stay aligned in virtual time (the DRAM contention
+     model bins demand by virtual time, and cooperative scheduling must
+     not let one worker race thousands of lines ahead). *)
+  let range c ~write region ~lo ~hi =
+    let line_bytes = (Machine.topology c.csched.machine).Topology.line_bytes in
+    let elems_per_chunk =
+      max 1 (c.csched.config.max_accesses_per_quantum * line_bytes / (2 * region.Simmem.elt_bytes))
+    in
+    let pos = ref lo in
+    while !pos < hi do
+      let stop = min hi (!pos + elems_per_chunk) in
+      let w = worker c in
+      let cost =
+        Machine.touch_range c.csched.machine ~core:w.core ~now_ns:w.clock ~write
+          region ~lo:!pos ~hi:stop
+      in
+      w.clock <- w.clock +. cost;
+      let lines = 1 + (((stop - !pos) * region.Simmem.elt_bytes) / line_bytes) in
+      w.accesses <- w.accesses + lines;
+      pos := stop;
+      if !pos < hi then Coroutine.yield ()
+    done
+
+  let read_range c region ~lo ~hi = range c ~write:false region ~lo ~hi
+  let write_range c region ~lo ~hi = range c ~write:true region ~lo ~hi
+  let work c ns = charge c ns
+  let yield _c = Coroutine.yield ()
+
+  let maybe_yield c =
+    let w = worker c in
+    if w.accesses >= c.csched.config.max_accesses_per_quantum then Coroutine.yield ()
+
+  (* [Coroutine.suspend] hands over the coroutine; the registrar wants the
+     scheduler-level task, which owns requeue metadata. *)
+  let suspend c register = Coroutine.suspend (fun _coro -> register c.ctask)
+
+  let spawn c ?worker ?at body =
+    let t = c.csched in
+    let worker = match worker with Some w -> w | None -> c.ctask.last_worker in
+    (match t.config.task_model with
+    | Coroutines _ -> ()
+    | Os_threads { spawn_ns; _ } -> charge c spawn_ns);
+    spawn t ~worker ?at body
+
+  let await c task =
+    if not task.finished then begin
+      suspend c (fun waiter -> task.waiters <- waiter :: task.waiters);
+      ()
+    end
+end
+
+let charge t ~worker ns = t.workers.(worker).clock <- t.workers.(worker).clock +. ns
+
+let sync_clocks t =
+  let m = Array.fold_left (fun acc w -> Float.max acc w.clock) 0.0 t.workers in
+  Array.iter (fun w -> w.clock <- m) t.workers

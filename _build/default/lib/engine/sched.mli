@@ -1,0 +1,136 @@
+open Chipsim
+
+(** Discrete-event task scheduler over the simulated machine.
+
+    Workers model the runtime's OS-pinned worker threads: each owns a core
+    binding, a virtual clock and a work-stealing deque of tasks
+    (coroutines).  The event loop always advances the least-advanced
+    worker, so virtual time is near-monotone machine-wide.  All latencies
+    charged by {!Ctx} memory operations accrue to the executing worker's
+    clock; the makespan returned by {!run} is the virtual wall-clock time
+    the workload would have taken.
+
+    Placement policy is injected through {!hooks}: CHARM and each baseline
+    provide their own quantum-end migration logic and steal-victim order. *)
+
+type t
+type task
+type ctx
+
+exception Deadlock
+(** Raised when live tasks remain but every one of them is suspended. *)
+
+type task_model =
+  | Coroutines of { switch_ns : float }
+      (** user-space cooperative switching (CHARM's model, paper §4.4) *)
+  | Os_threads of { spawn_ns : float; switch_ns : float }
+      (** one kernel thread per task, as with [std::async]: expensive
+          creation, kernel context switches, oversubscription penalties *)
+
+type config = {
+  task_model : task_model;
+  steal_enabled : bool;
+  max_accesses_per_quantum : int;
+      (** {!Ctx.maybe_yield} yields after this many charged accesses *)
+  idle_quantum_ns : float;  (** clock advance for a worker that finds no work *)
+  migration_cost_ns : float;  (** charged to a worker when it changes core *)
+}
+
+val default_config : config
+
+type hooks = {
+  on_quantum_end : t -> int -> unit;
+      (** called with the worker id after every task quantum *)
+  steal_order : t -> thief:int -> int array;
+      (** worker ids to steal from, best victim first *)
+}
+
+val no_hooks : hooks
+(** No migrations; steal order by ascending core distance (chiplet-first). *)
+
+val create :
+  ?config:config ->
+  ?hooks:hooks ->
+  Machine.t ->
+  n_workers:int ->
+  placement:(int -> int) ->
+  t
+(** [create machine ~n_workers ~placement] binds worker [w] to core
+    [placement w].  Distinct workers must get distinct cores.
+    @raise Invalid_argument on core clashes or out-of-range cores. *)
+
+val machine : t -> Machine.t
+val n_workers : t -> int
+val config : t -> config
+val set_hooks : t -> hooks -> unit
+val worker_core : t -> int -> int
+val worker_clock : t -> int -> float
+val worker_of_core : t -> int -> int option
+val queue_length : t -> int -> int
+
+val migrate : t -> worker:int -> core:int -> unit
+(** Rebind a worker to another (free) core, charging the migration cost.
+    No-op if already there.  @raise Invalid_argument if the core is bound
+    to another worker. *)
+
+val spawn : t -> ?worker:int -> ?at:float -> (ctx -> unit) -> task
+(** Enqueue a new task.  Without [?worker] tasks are distributed
+    round-robin.  [?at] is the earliest virtual time it may start. *)
+
+val ready : t -> ?at:float -> task -> unit
+(** Requeue a previously suspended task (on the worker that last ran it). *)
+
+val run : t -> float
+(** Run until no live task remains; returns the makespan in virtual ns
+    (max over workers that executed work of their final clock). *)
+
+val live_tasks : t -> int
+val total_spawned : t -> int
+val concurrency_samples : t -> (float * int) array
+(** [(virtual time, live task count)] recorded at every spawn/finish. *)
+
+val task_id : task -> int
+val task_is_done : task -> bool
+
+module Ctx : sig
+  val sched : ctx -> t
+  val machine : ctx -> Machine.t
+  val now : ctx -> float
+  val worker_id : ctx -> int
+  val core : ctx -> int
+  val rng : ctx -> Rng.t
+
+  val read : ctx -> Simmem.region -> int -> unit
+  (** Simulate a load of element [i]; charges the executing worker. *)
+
+  val write : ctx -> Simmem.region -> int -> unit
+  val read_range : ctx -> Simmem.region -> lo:int -> hi:int -> unit
+  val write_range : ctx -> Simmem.region -> lo:int -> hi:int -> unit
+  val access_addr : ctx -> write:bool -> int -> unit
+
+  val work : ctx -> float -> unit
+  (** Charge pure compute time (ns). *)
+
+  val yield : ctx -> unit
+  val maybe_yield : ctx -> unit
+  (** Yield only if the access budget for this quantum is exhausted. *)
+
+  val suspend : ctx -> (task -> unit) -> unit
+  (** Park the current task, handing it to a registrar (wait list). *)
+
+  val spawn : ctx -> ?worker:int -> ?at:float -> (ctx -> unit) -> task
+  (** Child tasks default to the spawner's local queue. *)
+
+  val await : ctx -> task -> unit
+  (** Suspend until [task] finishes (no-op if it already did). *)
+
+  val current_task : ctx -> task
+end
+
+val charge : t -> worker:int -> float -> unit
+(** Add [ns] of cost to a worker's clock from outside a task (policy hooks,
+    profiler overhead). *)
+
+val sync_clocks : t -> unit
+(** Advance every worker's clock to the global maximum (a quiescent point
+    between measured phases, so the next makespan delta is meaningful). *)

@@ -1,0 +1,69 @@
+open Chipsim
+
+type access_breakdown = {
+  l2_hits : int;
+  local_chiplet : int;
+  remote_chiplet : int;
+  remote_numa : int;
+  dram : int;
+  invalidations : int;
+}
+
+type report = {
+  makespan_ns : float;
+  accesses : access_breakdown;
+  tasks_executed : int;
+  tasks_stolen : int;
+  migrations : int;
+  context_switches : int;
+  dram_bytes_per_node : int array;
+  avg_bandwidth_gbps : float;
+}
+
+let breakdown_of_pmu pmu =
+  {
+    l2_hits = Pmu.total pmu Pmu.L2_hit;
+    local_chiplet = Pmu.total pmu Pmu.L3_local_hit;
+    remote_chiplet = Pmu.total pmu Pmu.Fill_remote_chiplet;
+    remote_numa = Pmu.total pmu Pmu.Fill_remote_numa;
+    dram = Pmu.total pmu Pmu.Dram_local + Pmu.total pmu Pmu.Dram_remote;
+    invalidations = Pmu.total pmu Pmu.Coherence_invalidation;
+  }
+
+let collect machine ~makespan_ns =
+  let pmu = Machine.pmu machine in
+  let topo = Machine.topology machine in
+  let dram_bytes =
+    Array.init topo.Topology.sockets (fun node ->
+        Machine.dram_bytes_served machine ~node)
+  in
+  let total_bytes = Array.fold_left ( + ) 0 dram_bytes in
+  {
+    makespan_ns;
+    accesses = breakdown_of_pmu pmu;
+    tasks_executed = Pmu.total pmu Pmu.Task_executed;
+    tasks_stolen = Pmu.total pmu Pmu.Task_stolen;
+    migrations = Pmu.total pmu Pmu.Migration;
+    context_switches = Pmu.total pmu Pmu.Context_switch;
+    dram_bytes_per_node = dram_bytes;
+    avg_bandwidth_gbps =
+      (if makespan_ns > 0.0 then float_of_int total_bytes /. makespan_ns else 0.0);
+  }
+
+let speedup ~baseline report =
+  if report.makespan_ns <= 0.0 then invalid_arg "Stats.speedup: zero makespan";
+  baseline.makespan_ns /. report.makespan_ns
+
+let throughput ~work_items report =
+  if report.makespan_ns <= 0.0 then 0.0
+  else float_of_int work_items /. (report.makespan_ns /. 1e9)
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>makespan: %.0f ns@ l2=%d local=%d remote-chiplet=%d remote-numa=%d \
+     dram=%d inval=%d@ tasks=%d stolen=%d migrations=%d switches=%d@ \
+     bandwidth=%.2f GB/s@]"
+    r.makespan_ns r.accesses.l2_hits r.accesses.local_chiplet
+    r.accesses.remote_chiplet r.accesses.remote_numa r.accesses.dram
+    r.accesses.invalidations r.tasks_executed r.tasks_stolen r.migrations
+    r.context_switches r.avg_bandwidth_gbps

@@ -1,0 +1,36 @@
+(** End-of-run metrics for a CHARM (or baseline) execution. *)
+
+open Chipsim
+
+type access_breakdown = {
+  l2_hits : int;
+  local_chiplet : int;  (** local L3 slice hits *)
+  remote_chiplet : int;  (** fills from another chiplet, same socket *)
+  remote_numa : int;  (** fills from the other socket *)
+  dram : int;
+  invalidations : int;
+}
+
+type report = {
+  makespan_ns : float;
+  accesses : access_breakdown;
+  tasks_executed : int;
+  tasks_stolen : int;
+  migrations : int;
+  context_switches : int;
+  dram_bytes_per_node : int array;
+  avg_bandwidth_gbps : float;
+      (** total DRAM bytes / makespan, in GB/s of virtual time *)
+}
+
+val collect : Machine.t -> makespan_ns:float -> report
+
+val breakdown_of_pmu : Pmu.t -> access_breakdown
+
+val speedup : baseline:report -> report -> float
+(** [makespan baseline / makespan subject]. *)
+
+val throughput : work_items:int -> report -> float
+(** Items per virtual second. *)
+
+val pp : Format.formatter -> report -> unit

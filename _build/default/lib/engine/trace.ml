@@ -1,0 +1,82 @@
+type event =
+  | Quantum of { worker : int; core : int; task_id : int; start_ns : float; end_ns : float }
+  | Migration of { worker : int; from_core : int; to_core : int; at_ns : float }
+  | Policy of { worker : int; spread : int; at_ns : float }
+  | Instant of { name : string; at_ns : float }
+
+type t = { mutable events : event list; mutable count : int; mutable on : bool }
+
+let create () = { events = []; count = 0; on = true }
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let push t e =
+  if t.on then begin
+    t.events <- e :: t.events;
+    t.count <- t.count + 1
+  end
+
+let task_quantum t ~worker ~core ~task_id ~start_ns ~end_ns =
+  push t (Quantum { worker; core; task_id; start_ns; end_ns })
+
+let migration t ~worker ~from_core ~to_core ~at_ns =
+  push t (Migration { worker; from_core; to_core; at_ns })
+
+let policy_decision t ~worker ~spread ~at_ns =
+  push t (Policy { worker; spread; at_ns })
+
+let instant t ~name ~at_ns = push t (Instant { name; at_ns })
+let num_events t = t.count
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let us ns = ns /. 1000.0
+
+let event_json = function
+  | Quantum { worker; core; task_id; start_ns; end_ns } ->
+      Printf.sprintf
+        {|{"name":"task %d","cat":"quantum","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"core":%d}}|}
+        task_id (us start_ns)
+        (us (Float.max 0.0 (end_ns -. start_ns)))
+        worker core
+  | Migration { worker; from_core; to_core; at_ns } ->
+      Printf.sprintf
+        {|{"name":"migrate %d->%d","cat":"migration","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
+        from_core to_core (us at_ns) worker
+  | Policy { worker; spread; at_ns } ->
+      Printf.sprintf
+        {|{"name":"spread=%d","cat":"policy","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
+        spread (us at_ns) worker
+  | Instant { name; at_ns } ->
+      Printf.sprintf
+        {|{"name":"%s","cat":"marker","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
+        name (us at_ns)
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf (event_json e))
+    (List.rev t.events);
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let hook t sched ~hooks =
+  let last_end = Array.make (Sched.n_workers sched) 0.0 in
+  {
+    hooks with
+    Sched.on_quantum_end =
+      (fun s worker ->
+        let now = Sched.worker_clock s worker in
+        task_quantum t ~worker
+          ~core:(Sched.worker_core s worker)
+          ~task_id:(-1) ~start_ns:last_end.(worker) ~end_ns:now;
+        last_end.(worker) <- now;
+        hooks.Sched.on_quantum_end s worker);
+  }

@@ -1,0 +1,35 @@
+(** Execution tracing: per-worker timelines of task quanta, migrations and
+    policy events in Chrome trace-event JSON (load in
+    [chrome://tracing] / Perfetto).
+
+    This is the observability side of the paper's profiler: where the PMU
+    counters say {e what} was served from where, the trace shows {e when}
+    each worker ran which task on which core. *)
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Event recording (no-ops when disabled). *)
+
+val task_quantum :
+  t -> worker:int -> core:int -> task_id:int -> start_ns:float -> end_ns:float -> unit
+
+val migration : t -> worker:int -> from_core:int -> to_core:int -> at_ns:float -> unit
+val policy_decision : t -> worker:int -> spread:int -> at_ns:float -> unit
+val instant : t -> name:string -> at_ns:float -> unit
+
+val num_events : t -> int
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** The complete trace as a Chrome trace-event JSON array.  Durations are
+    microseconds of virtual time, one row ("pid 0, tid = worker") per
+    worker. *)
+
+val hook : t -> Sched.t -> hooks:Sched.hooks -> Sched.hooks
+(** Wrap scheduler hooks so every quantum end records the executing
+    worker's position (cheap coarse tracing without engine changes). *)

@@ -1,0 +1,65 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;  (* index of oldest element *)
+  mutable bottom : int;  (* one past newest element *)
+}
+
+let initial_capacity = 16
+
+let create () = { buf = Array.make initial_capacity None; top = 0; bottom = 0 }
+
+let length t = t.bottom - t.top
+let is_empty t = length t = 0
+
+let slot t i = i land (Array.length t.buf - 1)
+
+let grow t =
+  let old = t.buf in
+  let cap = Array.length old in
+  let buf = Array.make (cap * 2) None in
+  for i = t.top to t.bottom - 1 do
+    buf.(i land ((cap * 2) - 1)) <- old.(i land (cap - 1))
+  done;
+  t.buf <- buf
+
+let push t x =
+  if length t = Array.length t.buf then grow t;
+  t.buf.(slot t t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1
+
+let pop t =
+  if is_empty t then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    let i = slot t t.bottom in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    x
+  end
+
+let pop_front t =
+  if is_empty t then None
+  else begin
+    let i = slot t t.top in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.top <- t.top + 1;
+    x
+  end
+
+let steal t = pop_front t
+
+let clear t =
+  t.buf <- Array.make initial_capacity None;
+  t.top <- 0;
+  t.bottom <- 0
+
+let to_list t =
+  let rec go i acc =
+    if i >= t.bottom then List.rev acc
+    else
+      match t.buf.(slot t i) with
+      | Some x -> go (i + 1) (x :: acc)
+      | None -> go (i + 1) acc
+  in
+  go t.top []

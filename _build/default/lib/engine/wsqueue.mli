@@ -1,0 +1,27 @@
+(** Per-core work-stealing deque (Chase–Lev discipline).
+
+    The owner pushes and pops at the bottom (LIFO, for locality); thieves
+    steal from the top (FIFO, taking the coldest task).  The simulation is
+    single-threaded, so no atomics are needed — the cost of the real
+    lock-free operations is charged in virtual time by the scheduler. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+(** Owner: push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: pop the most recently pushed element. *)
+
+val pop_front : 'a t -> 'a option
+(** Owner: pop the oldest element (FIFO service order). *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest element. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Oldest first; for draining on migration. *)

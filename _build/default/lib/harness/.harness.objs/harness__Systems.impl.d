@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Baselines Charm Chipsim Engine Float Latency Machine Presets Workloads

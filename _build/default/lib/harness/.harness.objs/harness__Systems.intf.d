@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Charm Chipsim Engine Machine Topology Workloads

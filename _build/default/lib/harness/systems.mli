@@ -1,0 +1,52 @@
+(** Registry of runnable systems and evaluation machines.
+
+    One-stop construction of an {!Workloads.Exec_env.t} for any
+    (system, machine, worker count) combination used in the paper's
+    evaluation.  Every call builds a {e fresh} simulated machine so PMU
+    counters and caches start cold, as in the paper's per-run methodology. *)
+
+open Chipsim
+
+type machine_kind =
+  | Amd_milan  (** dual-socket EPYC Milan 7713 (the default testbed) *)
+  | Amd_milan_1s  (** single-socket Milan (§2.3 microbenchmark) *)
+  | Intel_spr  (** dual-socket Xeon Platinum 8488C (§5.3) *)
+
+type sys =
+  | Charm
+  | Charm_os_threads  (** CHARM placement but std::async-style tasking *)
+  | Ring
+  | Dw_native
+      (** RING-like NUMA-aware placement with DimmWitted's kernel-thread
+          tasking (one thread per task, as its engine creates) *)
+  | Shoal
+  | Asymsched
+  | Sam
+  | Os_default
+  | Local_cache
+  | Distributed_cache
+
+val all_baseline_systems : sys list
+(** The four comparison systems of §5.1 (plus OS default). *)
+
+val sys_name : sys -> string
+val topology : machine_kind -> cache_scale:int -> Topology.t
+
+type instance = {
+  env : Workloads.Exec_env.t;
+  machine : Machine.t;
+  charm : Charm.Runtime.t option;  (** present when [sys] is CHARM *)
+}
+
+val make :
+  ?cache_scale:int ->
+  ?charm_config:Charm.Config.t ->
+  sys ->
+  machine_kind ->
+  n_workers:int ->
+  unit ->
+  instance
+(** @raise Invalid_argument if the machine cannot host [n_workers]. *)
+
+val report : instance -> Engine.Stats.report
+(** End-of-run statistics (makespan = last run on the instance). *)

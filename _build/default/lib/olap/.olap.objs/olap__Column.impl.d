@@ -1,0 +1,1 @@
+lib/olap/column.ml: Array Chipsim Engine Simmem

@@ -1,0 +1,1 @@
+lib/olap/column.mli: Chipsim Engine Simmem

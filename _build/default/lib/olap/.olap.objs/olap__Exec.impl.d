@@ -1,0 +1,1 @@
+lib/olap/exec.ml: Array Chipsim Column Engine Hashtbl List Option Simmem Table

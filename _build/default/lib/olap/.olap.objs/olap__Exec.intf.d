@@ -1,0 +1,1 @@
+lib/olap/exec.mli: Chipsim Engine Simmem Table

@@ -1,0 +1,1 @@
+lib/olap/table.mli: Column

@@ -1,0 +1,1 @@
+lib/olap/tpch_data.ml: Array Column Engine Fun List Table

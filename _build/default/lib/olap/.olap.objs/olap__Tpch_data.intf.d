@@ -1,0 +1,1 @@
+lib/olap/tpch_data.mli: Chipsim Simmem Table

@@ -1,0 +1,1 @@
+lib/olap/tpch_queries.ml: Array Column Engine Exec Float Hashtbl List Option Table Tpch_data Workloads

@@ -1,0 +1,1 @@
+lib/olap/tpch_queries.mli: Engine Exec Tpch_data Workloads

@@ -1,0 +1,33 @@
+type t = { name : string; rows : int; cols : (string * Column.t) list }
+
+let v ~name ~rows cols =
+  List.iter
+    (fun (cname, c) ->
+      if Column.length c <> rows then
+        invalid_arg
+          (Printf.sprintf "Table %s: column %s has %d rows, expected %d" name
+             cname (Column.length c) rows))
+    cols;
+  { name; rows; cols }
+
+let name t = t.name
+let rows t = t.rows
+
+let col t cname =
+  match List.assoc_opt cname t.cols with
+  | Some c -> c
+  | None -> raise Not_found
+
+let ints t cname =
+  match col t cname with
+  | Column.Ints { data; _ } -> data
+  | Column.Floats _ ->
+      invalid_arg (Printf.sprintf "Table %s: column %s is not ints" t.name cname)
+
+let floats t cname =
+  match col t cname with
+  | Column.Floats { data; _ } -> data
+  | Column.Ints _ ->
+      invalid_arg (Printf.sprintf "Table %s: column %s is not floats" t.name cname)
+
+let columns t = t.cols

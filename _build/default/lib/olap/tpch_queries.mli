@@ -1,0 +1,30 @@
+(** The 22 TPC-H-shaped queries over {!Tpch_data}, written against the
+    morsel-driven operators of {!Exec}.
+
+    Every query keeps the structural skeleton of its TPC-H counterpart —
+    which tables it scans, which joins it builds, what it groups by — with
+    dictionary-coded strings and day-number dates.  Results are reduced to
+    a deterministic checksum so correctness can be asserted across runtime
+    systems (the same data must give the same checksum under CHARM and
+    every baseline). *)
+
+type result = {
+  query : int;
+  checksum : float;
+  rows_out : int;  (** result-set cardinality before top-k truncation *)
+}
+
+val run :
+  Engine.Sched.ctx -> alloc:Exec.alloc -> Tpch_data.t -> int -> result
+(** Run query [1..22] inside a task.  @raise Invalid_argument otherwise. *)
+
+val execute :
+  Workloads.Exec_env.t -> Tpch_data.t -> int -> result * float
+(** Drive one query as a main task; returns (result, makespan ns). *)
+
+val query_numbers : int list
+(** [1; ...; 22]. *)
+
+val join_heavy : int list
+(** The queries the paper singles out as hash-join dominated (Q3, Q4, Q5,
+    Q7, Q9, Q10, Q21). *)

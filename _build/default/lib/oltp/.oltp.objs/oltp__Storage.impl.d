@@ -1,0 +1,1 @@
+lib/oltp/storage.ml: Array Chipsim Engine Printf

@@ -1,0 +1,1 @@
+lib/oltp/storage.mli: Chipsim Engine Simmem

@@ -1,0 +1,1 @@
+lib/oltp/tpcc.ml: Engine Storage Txn Workloads

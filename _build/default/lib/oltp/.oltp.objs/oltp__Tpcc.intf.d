@@ -1,0 +1,1 @@
+lib/oltp/tpcc.mli: Workloads

@@ -1,0 +1,1 @@
+lib/oltp/txn.ml: Chipsim Engine Float Hashtbl Option

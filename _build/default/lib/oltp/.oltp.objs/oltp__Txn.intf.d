@@ -1,0 +1,1 @@
+lib/oltp/txn.mli: Chipsim Engine Simmem

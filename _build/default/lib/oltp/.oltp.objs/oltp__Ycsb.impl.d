@@ -1,0 +1,1 @@
+lib/oltp/ycsb.ml: Engine Storage Txn Workloads

@@ -1,0 +1,1 @@
+lib/oltp/ycsb.mli: Workloads

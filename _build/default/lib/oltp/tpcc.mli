@@ -1,0 +1,23 @@
+(** TPC-C-lite over the OLTP engine (paper §5.7 configuration: 45%%
+    New-Order, 43%% Payment, remainder Delivery / Order-Status /
+    Stock-Level; uniform items; home-warehouse accesses only). *)
+
+type params = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  txns : int;  (** total transactions across all workers *)
+  seed : int;
+}
+
+val default_params : params
+
+type outcome = {
+  result : Workloads.Workload_result.t;
+  commits : int;
+  commits_per_second : float;
+  new_orders : int;  (** New-Order transactions completed *)
+}
+
+val run : Workloads.Exec_env.t -> params -> outcome

@@ -1,0 +1,53 @@
+module Sched = Engine.Sched
+
+type t = {
+  commit_service_ns : float;
+  group_size : int;
+  sim_log_tail : Chipsim.Simmem.region;
+  mutable log_busy_until : float;
+  mutable n_commits : int;
+  pending : (int, int) Hashtbl.t;  (* worker -> commits since last flush *)
+}
+
+let create ~alloc ?(commit_service_ns = 350.0) ?(group_size = 8) () =
+  if group_size <= 0 then invalid_arg "Txn.create: group_size must be positive";
+  {
+    commit_service_ns;
+    group_size;
+    sim_log_tail = alloc ~elt_bytes:8 ~count:8;
+    log_busy_until = 0.0;
+    n_commits = 0;
+    pending = Hashtbl.create 64;
+  }
+
+(* ERMIA-style pipelined group commit: each worker batches [group_size]
+   transactions, then claims the shared log tail once (the hot line) and
+   serialises the whole batch's service time on the log device. *)
+let flush t ctx ~batch =
+  Sched.Ctx.read ctx t.sim_log_tail 0;
+  Sched.Ctx.write ctx t.sim_log_tail 0;
+  let now = Sched.Ctx.now ctx in
+  let start = Float.max now t.log_busy_until in
+  let service = t.commit_service_ns *. float_of_int batch in
+  t.log_busy_until <- start +. service;
+  Sched.Ctx.work ctx (start -. now +. service)
+
+let commit t ctx =
+  t.n_commits <- t.n_commits + 1;
+  let worker = Sched.Ctx.worker_id ctx in
+  let pending = 1 + Option.value ~default:0 (Hashtbl.find_opt t.pending worker) in
+  if pending >= t.group_size then begin
+    Hashtbl.replace t.pending worker 0;
+    flush t ctx ~batch:pending
+  end
+  else begin
+    Hashtbl.replace t.pending worker pending;
+    (* commit record written to the worker-local buffer *)
+    Sched.Ctx.work ctx (t.commit_service_ns *. 0.1)
+  end
+
+let commits t = t.n_commits
+
+let commits_per_second t ~makespan_ns =
+  if makespan_ns <= 0.0 then 0.0
+  else float_of_int t.n_commits /. (makespan_ns /. 1e9)

@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Array Csr Engine Exec_env List Queue Workload_result

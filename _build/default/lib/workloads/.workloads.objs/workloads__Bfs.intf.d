@@ -1,0 +1,1 @@
+lib/workloads/bfs.mli: Csr Exec_env Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/concomp.ml: Array Csr Engine Exec_env Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/concomp.mli: Csr Exec_env Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/csr.ml: Array Chipsim Engine Kronecker Simmem

@@ -1,0 +1,1 @@
+lib/workloads/csr.mli: Chipsim Engine Kronecker Simmem

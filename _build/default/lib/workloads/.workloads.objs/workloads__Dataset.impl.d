@@ -1,0 +1,1 @@
+lib/workloads/dataset.ml: Array Chipsim Engine Simmem

@@ -1,0 +1,1 @@
+lib/workloads/dataset.mli: Chipsim Simmem

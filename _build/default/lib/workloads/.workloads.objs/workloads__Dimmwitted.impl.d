@@ -1,0 +1,1 @@
+lib/workloads/dimmwitted.ml: Dataset Format Sgd Workload_result

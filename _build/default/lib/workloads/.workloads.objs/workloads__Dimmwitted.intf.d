@@ -1,0 +1,1 @@
+lib/workloads/dimmwitted.mli: Dataset Exec_env Format Sgd

@@ -1,0 +1,1 @@
+lib/workloads/exec_env.ml: Chipsim Engine Simmem

@@ -1,0 +1,1 @@
+lib/workloads/exec_env.mli: Chipsim Engine Machine Simmem

@@ -1,0 +1,1 @@
+lib/workloads/graph500.ml: Bfs Csr Engine Workload_result

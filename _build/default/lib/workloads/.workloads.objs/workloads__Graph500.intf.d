@@ -1,0 +1,1 @@
+lib/workloads/graph500.mli: Csr Exec_env Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/gups.ml: Engine Exec_env Workload_result

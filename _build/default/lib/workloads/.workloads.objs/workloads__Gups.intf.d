@@ -1,0 +1,1 @@
+lib/workloads/gups.mli: Exec_env Workload_result

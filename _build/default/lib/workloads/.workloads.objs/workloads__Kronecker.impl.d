@@ -1,0 +1,1 @@
+lib/workloads/kronecker.ml: Array Engine

@@ -1,0 +1,1 @@
+lib/workloads/pagerank.mli: Csr Exec_env Workload_result

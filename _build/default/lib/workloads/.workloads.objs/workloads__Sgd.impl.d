@@ -1,0 +1,1 @@
+lib/workloads/sgd.ml: Array Chipsim Dataset Engine Exec_env Float Machine Simmem Topology Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/sgd.mli: Chipsim Dataset Exec_env Simmem Workload_result

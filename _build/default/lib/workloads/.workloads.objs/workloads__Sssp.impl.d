@@ -1,0 +1,1 @@
+lib/workloads/sssp.ml: Array Csr Engine Exec_env Hashtbl List Set Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/sssp.mli: Csr Exec_env Workload_result

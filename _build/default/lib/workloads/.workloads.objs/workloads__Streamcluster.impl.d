@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: Array Engine Exec_env List Workload_result

@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.mli: Exec_env Workload_result

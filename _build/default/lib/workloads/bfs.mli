@@ -1,0 +1,11 @@
+(** Level-synchronous parallel breadth-first search (paper benchmark
+    suite).  Tasks are generated dynamically per frontier chunk — the
+    paper's "tasks per active frontier node" decomposition. *)
+
+val run :
+  Exec_env.t -> Csr.t -> source:int -> int array * Workload_result.t
+(** Returns the level of every vertex (-1 if unreached) and the result;
+    [work_items] counts traversed edges. *)
+
+val reference : Csr.t -> source:int -> int array
+(** Sequential reference implementation (for correctness tests). *)

@@ -1,0 +1,8 @@
+(** Connected components by parallel label propagation. *)
+
+val run : Exec_env.t -> Csr.t -> int array * Workload_result.t
+(** Returns the component label of every vertex (the minimum vertex id in
+    its component); [work_items] counts edge inspections. *)
+
+val reference : Csr.t -> int array
+(** Sequential union-find reference. *)

@@ -1,0 +1,25 @@
+(** Dense synthetic dataset for logistic-regression SGD (paper §5.5:
+    10,000 samples x 8,192 features; run here at configurable scale).
+    Labels follow a random ground-truth hyperplane plus noise so that SGD
+    measurably converges (used by correctness tests). *)
+
+open Chipsim
+
+type t = {
+  samples : int;
+  features : int;
+  rows : float array;  (** row-major, samples x features *)
+  labels : float array;  (** +1.0 / -1.0 *)
+  sim_rows : Simmem.region;  (** 4 B per value, as float32 on the wire *)
+  sim_labels : Simmem.region;
+}
+
+val generate :
+  alloc:(elt_bytes:int -> count:int -> Simmem.region) ->
+  ?seed:int -> samples:int -> features:int -> unit -> t
+
+val bytes : t -> int
+(** Simulated payload size of the sample matrix. *)
+
+val row_offset : t -> int -> int
+(** Element index of the first value of a sample row. *)

@@ -1,0 +1,12 @@
+(** Graph500-style benchmark: Kronecker generation + BFS from several
+    random roots, reported in traversed edges per second (TEPS). *)
+
+type params = { scale : int; edge_factor : int; roots : int; seed : int }
+
+val default_params : params
+
+val run : Exec_env.t -> Csr.t -> params -> Workload_result.t
+(** Runs [roots] BFS searches over a pre-built graph; [work_items] is the
+    total number of traversed edges. *)
+
+val teps : Workload_result.t -> float

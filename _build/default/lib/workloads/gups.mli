@@ -1,0 +1,17 @@
+(** RandomAccess (GUPS): random read-modify-write updates over a large
+    table, the paper's non-contiguous memory-access probe.  Throughput is
+    reported in giga-updates per second of virtual time. *)
+
+type params = {
+  table_words : int;  (** 8-byte words in the shared table *)
+  updates : int;  (** total RMW operations *)
+  seed : int;
+}
+
+val default_params : params
+
+val run : Exec_env.t -> params -> Workload_result.t
+(** [work_items] = updates performed. *)
+
+val gups : Workload_result.t -> float
+(** Giga-updates per (virtual) second. *)

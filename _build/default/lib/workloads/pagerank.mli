@@ -1,0 +1,14 @@
+(** Push-style parallel PageRank (fixed iteration count).
+
+    The push phase performs random writes into the next-rank vector —
+    cross-chiplet invalidation traffic when the gang is spread — while the
+    normalize phase is a sequential sweep.  This mix is what makes PR
+    sensitive to placement in paper Fig. 7. *)
+
+val run :
+  Exec_env.t -> Csr.t -> ?iterations:int -> ?damping:float -> unit ->
+  float array * Workload_result.t
+(** Returns final ranks; [work_items] counts edge updates
+    (edges x iterations). *)
+
+val reference : Csr.t -> ?iterations:int -> ?damping:float -> unit -> float array

@@ -1,0 +1,9 @@
+(** Single-source shortest paths: frontier-based parallel Bellman–Ford
+    (chaotic relaxation) over the weighted CSR. *)
+
+val run : Exec_env.t -> Csr.t -> source:int -> int array * Workload_result.t
+(** Returns distances (max_int if unreachable); [work_items] counts edge
+    relaxations attempted. *)
+
+val reference : Csr.t -> source:int -> int array
+(** Sequential Dijkstra reference. *)

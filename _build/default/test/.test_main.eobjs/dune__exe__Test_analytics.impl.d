@@ -1,0 +1,1 @@
+test/test_analytics.ml: Alcotest Array Dataset Dimmwitted Exec_env Harness Sgd Workload_result Workloads

@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Array Barrier Chipsim Engine Float List Machine Presets Sched

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Chipsim Engine Fun List Machine Pmu Presets Simmem Topology

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Chipsim Gen List QCheck QCheck_alcotest

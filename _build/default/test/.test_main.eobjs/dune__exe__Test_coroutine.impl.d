@@ -1,0 +1,1 @@
+test/test_coroutine.ml: Alcotest Buffer Coroutine Engine Printf

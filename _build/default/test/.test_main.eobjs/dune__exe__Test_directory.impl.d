@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Chipsim Directory List Presets

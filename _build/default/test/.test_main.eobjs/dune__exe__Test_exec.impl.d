@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Engine Harness List Olap Option Workloads

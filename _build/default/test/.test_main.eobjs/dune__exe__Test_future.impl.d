@@ -1,0 +1,1 @@
+test/test_future.ml: Alcotest Array Chipsim Engine Future Machine Presets Sched

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Concomp Csr Exec_env Float Graph500 Gups Harness Hashtbl Kronecker Pagerank QCheck QCheck_alcotest Sssp Workload_result Workloads

@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Chipsim Latency Presets QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Chipsim Machine Pmu Presets Simmem

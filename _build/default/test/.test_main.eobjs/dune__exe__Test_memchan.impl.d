@@ -1,0 +1,1 @@
+test/test_memchan.ml: Alcotest Chipsim Memchan

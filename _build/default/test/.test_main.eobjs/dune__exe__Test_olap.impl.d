@@ -1,0 +1,1 @@
+test/test_olap.ml: Alcotest Array Float Harness List Olap Workloads

@@ -1,0 +1,1 @@
+test/test_oltp.ml: Alcotest Engine Float Harness Oltp Workloads

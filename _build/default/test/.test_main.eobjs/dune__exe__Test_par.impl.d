@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Chipsim Engine Hashtbl List Machine Presets Printf

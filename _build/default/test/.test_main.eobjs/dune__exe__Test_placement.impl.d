@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Charm Chipsim Fun List Option Presets QCheck QCheck_alcotest Topology

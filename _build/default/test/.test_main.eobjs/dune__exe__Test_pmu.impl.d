@@ -1,0 +1,1 @@
+test/test_pmu.ml: Alcotest Chipsim List Pmu

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Charm Chipsim Engine Machine Pmu Presets

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Engine Fun QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Charm Chipsim Engine Fun Machine Presets Simmem

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Chipsim Engine Machine Pmu Presets Sched

@@ -1,0 +1,1 @@
+test/test_sched_smoke.ml: Alcotest Barrier Chipsim Engine Float List Machine Pmu Presets Sched

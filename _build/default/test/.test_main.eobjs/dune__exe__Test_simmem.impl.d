@@ -1,0 +1,1 @@
+test/test_simmem.ml: Alcotest Chipsim List Presets QCheck QCheck_alcotest Simmem

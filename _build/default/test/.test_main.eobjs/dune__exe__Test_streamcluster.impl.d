@@ -1,0 +1,1 @@
+test/test_streamcluster.ml: Alcotest Harness Streamcluster Workload_result Workloads

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Chipsim List Presets QCheck QCheck_alcotest Topology

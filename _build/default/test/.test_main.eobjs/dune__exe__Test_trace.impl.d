@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Chipsim Engine Machine Presets Sched String Trace

@@ -1,0 +1,1 @@
+test/test_wsqueue.ml: Alcotest Engine Gen List QCheck QCheck_alcotest Wsqueue

@@ -1,0 +1,81 @@
+open Chipsim
+
+let small () = Cache.create ~ways:4 ~size_bytes:4096 ~line_bytes:64 ()
+(* 4096/64 = 64 lines, 4 ways -> 16 sets *)
+
+let is_hit = function Cache.Hit -> true | Cache.Miss _ -> false
+
+let test_geometry () =
+  let c = small () in
+  Alcotest.(check int) "ways" 4 (Cache.ways c);
+  Alcotest.(check int) "sets" 16 (Cache.sets c);
+  Alcotest.(check int) "bytes" 4096 (Cache.size_bytes c)
+
+let test_hit_after_insert () =
+  let c = small () in
+  Alcotest.(check bool) "first is miss" false (is_hit (Cache.access c 42));
+  Alcotest.(check bool) "second is hit" true (is_hit (Cache.access c 42));
+  Alcotest.(check bool) "probe" true (Cache.probe c 42);
+  Alcotest.(check int) "occupancy" 1 (Cache.occupancy c)
+
+let test_lru_eviction () =
+  let c = Cache.create ~ways:2 ~size_bytes:128 ~line_bytes:64 () in
+  (* one set, two ways *)
+  ignore (Cache.access c 1);
+  ignore (Cache.access c 2);
+  ignore (Cache.access c 1);  (* 1 is now MRU *)
+  match Cache.access c 3 with
+  | Cache.Miss { evicted = Some victim } ->
+      Alcotest.(check int) "LRU way evicted" 2 victim;
+      Alcotest.(check bool) "1 survives" true (Cache.probe c 1)
+  | _ -> Alcotest.fail "expected an eviction"
+
+let test_invalidate () =
+  let c = small () in
+  ignore (Cache.access c 9);
+  Alcotest.(check bool) "present" true (Cache.invalidate c 9);
+  Alcotest.(check bool) "absent" false (Cache.invalidate c 9);
+  Alcotest.(check bool) "miss after invalidate" false (is_hit (Cache.access c 9))
+
+let test_clear () =
+  let c = small () in
+  for i = 0 to 63 do
+    ignore (Cache.access c i)
+  done;
+  Cache.clear c;
+  Alcotest.(check int) "empty" 0 (Cache.occupancy c)
+
+let test_bad_geometry () =
+  try
+    ignore (Cache.create ~ways:16 ~size_bytes:512 ~line_bytes:64 ());
+    Alcotest.fail "accepted cache smaller than one set"
+  with Invalid_argument _ -> ()
+
+let prop_occupancy_bounded =
+  QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 500) (int_range 0 10_000))
+    (fun lines ->
+      let c = small () in
+      List.iter (fun l -> ignore (Cache.access c l)) lines;
+      Cache.occupancy c <= 64)
+
+let prop_present_after_access =
+  QCheck.Test.make ~name:"a just-accessed line probes present" ~count:100
+    QCheck.(pair (int_range 0 10_000) (list_of_size (Gen.int_range 0 50) (int_range 0 10_000)))
+    (fun (line, prefix) ->
+      let c = small () in
+      List.iter (fun l -> ignore (Cache.access c l)) prefix;
+      ignore (Cache.access c line);
+      Cache.probe c line)
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "hit after insert" `Quick test_hit_after_insert;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "bad geometry" `Quick test_bad_geometry;
+    QCheck_alcotest.to_alcotest prop_occupancy_bounded;
+    QCheck_alcotest.to_alcotest prop_present_after_access;
+  ]

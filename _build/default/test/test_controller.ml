@@ -1,0 +1,60 @@
+let sample ~local ~chiplet ~numa ~dram =
+  {
+    Charm.Profiler.local_hits = local;
+    remote_chiplet = chiplet;
+    remote_numa = numa;
+    dram;
+  }
+
+let base = Charm.Config.default.Charm.Config.rmt_chip_access_rate
+
+let test_static_modes () =
+  let loc =
+    Charm.Controller.create
+      { Charm.Config.default with Charm.Config.approach = Charm.Config.Location_centric }
+  in
+  let d = Charm.Controller.decide loc (sample ~local:0 ~chiplet:0 ~numa:0 ~dram:1000) in
+  Alcotest.(check bool) "location threshold high" true (d.Charm.Controller.threshold > base);
+  let cache =
+    Charm.Controller.create
+      { Charm.Config.default with Charm.Config.approach = Charm.Config.Cache_centric }
+  in
+  let d = Charm.Controller.decide cache (sample ~local:0 ~chiplet:1000 ~numa:0 ~dram:0) in
+  Alcotest.(check bool) "cache threshold low" true (d.Charm.Controller.threshold < base)
+
+let test_adaptive_dram_heavy () =
+  let c = Charm.Controller.create Charm.Config.default in
+  let d = Charm.Controller.decide c (sample ~local:10 ~chiplet:10 ~numa:0 ~dram:1000) in
+  Alcotest.(check string) "cache-centric when thrashing" "cache-centric"
+    (Charm.Config.approach_to_string d.Charm.Controller.mode);
+  Alcotest.(check bool) "eager to spread" true (d.Charm.Controller.threshold < base)
+
+let test_adaptive_sharing_heavy () =
+  let c = Charm.Controller.create Charm.Config.default in
+  let d = Charm.Controller.decide c (sample ~local:10 ~chiplet:1000 ~numa:10 ~dram:10) in
+  Alcotest.(check string) "location-centric when sharing" "location-centric"
+    (Charm.Config.approach_to_string d.Charm.Controller.mode)
+
+let test_adaptive_keeps_mode_when_ambiguous () =
+  let c = Charm.Controller.create Charm.Config.default in
+  ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:0 ~numa:0 ~dram:100));
+  let d = Charm.Controller.decide c (sample ~local:0 ~chiplet:40 ~numa:30 ~dram:30) in
+  Alcotest.(check string) "sticks to last mode" "cache-centric"
+    (Charm.Config.approach_to_string d.Charm.Controller.mode)
+
+let test_mode_switch_counted () =
+  let c = Charm.Controller.create Charm.Config.default in
+  ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:0 ~numa:0 ~dram:100));
+  ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:100 ~numa:0 ~dram:0));
+  Alcotest.(check bool) "switches recorded" true (Charm.Controller.mode_switches c >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "static modes scale threshold" `Quick test_static_modes;
+    Alcotest.test_case "adaptive: dram-heavy -> cache-centric" `Quick test_adaptive_dram_heavy;
+    Alcotest.test_case "adaptive: sharing-heavy -> location-centric" `Quick
+      test_adaptive_sharing_heavy;
+    Alcotest.test_case "adaptive: ambiguous keeps mode" `Quick
+      test_adaptive_keeps_mode_when_ambiguous;
+    Alcotest.test_case "mode switches counted" `Quick test_mode_switch_counted;
+  ]

@@ -1,0 +1,62 @@
+open Chipsim
+
+let test_add_remove () =
+  let d = Directory.create ~chiplets:16 in
+  Directory.add d ~line:7 ~chiplet:3;
+  Directory.add d ~line:7 ~chiplet:11;
+  Alcotest.(check bool) "holds 3" true (Directory.holds d ~line:7 ~chiplet:3);
+  Alcotest.(check int) "two holders" 2 (Directory.count_holders d ~line:7);
+  Directory.remove d ~line:7 ~chiplet:3;
+  Alcotest.(check bool) "removed" false (Directory.holds d ~line:7 ~chiplet:3);
+  Directory.remove d ~line:7 ~chiplet:11;
+  Alcotest.(check int) "empty entry dropped" 0 (Directory.holders d 7)
+
+let test_exclusive () =
+  let d = Directory.create ~chiplets:4 in
+  Directory.add d ~line:1 ~chiplet:0;
+  Directory.add d ~line:1 ~chiplet:1;
+  Directory.set_exclusive d ~line:1 ~chiplet:2;
+  Alcotest.(check int) "only one holder" 1 (Directory.count_holders d ~line:1);
+  Alcotest.(check bool) "it is chiplet 2" true (Directory.holds d ~line:1 ~chiplet:2)
+
+let test_nearest_holder () =
+  let topo = Presets.amd_milan () in
+  let d = Directory.create ~chiplets:16 in
+  (* from chiplet 0: chiplet 1 is same-group, 4 is same-socket, 8 is remote *)
+  Directory.add d ~line:5 ~chiplet:8;
+  Alcotest.(check (option int)) "remote only" (Some 8)
+    (Directory.nearest_holder topo d ~line:5 ~from_chiplet:0);
+  Directory.add d ~line:5 ~chiplet:4;
+  Alcotest.(check (option int)) "same socket preferred" (Some 4)
+    (Directory.nearest_holder topo d ~line:5 ~from_chiplet:0);
+  Directory.add d ~line:5 ~chiplet:1;
+  Alcotest.(check (option int)) "same group preferred" (Some 1)
+    (Directory.nearest_holder topo d ~line:5 ~from_chiplet:0);
+  Alcotest.(check (option int)) "self excluded" None
+    (Directory.nearest_holder topo d ~line:99 ~from_chiplet:0)
+
+let test_iter () =
+  let d = Directory.create ~chiplets:8 in
+  Directory.add d ~line:3 ~chiplet:2;
+  Directory.add d ~line:3 ~chiplet:5;
+  let seen = ref [] in
+  Directory.iter_holders d ~line:3 (fun c -> seen := c :: !seen);
+  Alcotest.(check (list int)) "holders in order" [ 2; 5 ] (List.rev !seen)
+
+let test_bounds () =
+  let d = Directory.create ~chiplets:4 in
+  Alcotest.check_raises "chiplet range" (Invalid_argument "Directory: chiplet out of range")
+    (fun () -> Directory.add d ~line:0 ~chiplet:4);
+  try
+    ignore (Directory.create ~chiplets:63);
+    Alcotest.fail "accepted 63 chiplets"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "add/remove" `Quick test_add_remove;
+    Alcotest.test_case "set exclusive" `Quick test_exclusive;
+    Alcotest.test_case "nearest holder" `Quick test_nearest_holder;
+    Alcotest.test_case "iter holders" `Quick test_iter;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+  ]

@@ -1,0 +1,64 @@
+open Chipsim
+
+let amd () = Presets.amd_milan ()
+
+let test_classes () =
+  let t = amd () in
+  Alcotest.(check string) "same core" "same-core"
+    (Latency.distance_to_string (Latency.classify t 5 5));
+  Alcotest.(check string) "same chiplet" "same-chiplet"
+    (Latency.distance_to_string (Latency.classify t 0 7));
+  Alcotest.(check string) "same group" "same-group"
+    (Latency.distance_to_string (Latency.classify t 0 8));
+  Alcotest.(check string) "same socket" "same-socket"
+    (Latency.distance_to_string (Latency.classify t 0 63));
+  Alcotest.(check string) "cross socket" "cross-socket"
+    (Latency.distance_to_string (Latency.classify t 0 64))
+
+let test_hierarchy () =
+  (* the paper's §2.1 ordering: chiplet < group < socket < cross-socket *)
+  let p = Latency.default_profile in
+  Alcotest.(check bool) "ordering" true
+    (p.Latency.same_chiplet_ns < p.Latency.same_group_ns
+    && p.Latency.same_group_ns < p.Latency.same_socket_ns
+    && p.Latency.same_socket_ns < p.Latency.cross_socket_ns)
+
+let test_jitter_bounds () =
+  let t = amd () in
+  let p = Latency.default_profile in
+  let base = p.Latency.same_chiplet_ns in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      if a <> b then begin
+        let l = Latency.core_to_core_ns t a b in
+        if l < base || l > base *. 1.09 then
+          Alcotest.failf "latency %f outside [%f, %f]" l base (base *. 1.09)
+      end
+    done
+  done
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"latency is symmetric" ~count:300
+    QCheck.(pair (int_range 0 127) (int_range 0 127))
+    (fun (a, b) ->
+      let t = amd () in
+      Latency.core_to_core_ns t a b = Latency.core_to_core_ns t b a)
+
+let prop_classify_chiplets_agrees =
+  QCheck.Test.make ~name:"chiplet classification matches core classification"
+    ~count:300
+    QCheck.(pair (int_range 0 127) (int_range 0 127))
+    (fun (a, b) ->
+      let t = amd () in
+      let ca = Topology.chiplet_of_core t a and cb = Topology.chiplet_of_core t b in
+      ca = cb
+      || Latency.classify t a b = Latency.classify_chiplets t ca cb)
+
+let suite =
+  [
+    Alcotest.test_case "distance classes" `Quick test_classes;
+    Alcotest.test_case "latency hierarchy" `Quick test_hierarchy;
+    Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;
+    QCheck_alcotest.to_alcotest prop_symmetry;
+    QCheck_alcotest.to_alcotest prop_classify_chiplets_agrees;
+  ]

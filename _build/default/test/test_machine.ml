@@ -1,0 +1,129 @@
+open Chipsim
+
+let machine () = Machine.create (Presets.amd_milan ())
+
+let test_dram_then_l3 () =
+  let m = machine () in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:8 () in
+  let c1 = Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0 in
+  (* first touch: local DRAM *)
+  Alcotest.(check bool) "dram cost" true (c1 >= 110.0);
+  Alcotest.(check int) "dram local counted" 1 (Pmu.read (Machine.pmu m) ~core:0 Pmu.Dram_local);
+  (* L2 now holds it *)
+  let c2 = Machine.touch m ~core:0 ~now_ns:200.0 ~write:false r 0 in
+  Alcotest.(check bool) "l2 hit cheap" true (c2 < 15.0);
+  (* another core on the same chiplet misses L2, hits the shared L3 *)
+  let c3 = Machine.touch m ~core:1 ~now_ns:400.0 ~write:false r 0 in
+  Alcotest.(check bool) "l3 local" true (c3 >= 20.0 && c3 < 40.0);
+  Alcotest.(check int) "l3 hit counted" 1 (Pmu.read (Machine.pmu m) ~core:1 Pmu.L3_local_hit)
+
+let test_remote_chiplet_fill () =
+  let m = machine () in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:8 () in
+  ignore (Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0);
+  (* core 8 is chiplet 1, same group: cache-to-cache fill *)
+  let c = Machine.touch m ~core:8 ~now_ns:100.0 ~write:false r 0 in
+  Alcotest.(check bool) "group-fill cost" true (c >= 80.0 && c <= 100.0);
+  Alcotest.(check int) "remote chiplet fill" 1
+    (Pmu.read (Machine.pmu m) ~core:8 Pmu.Fill_remote_chiplet)
+
+let test_remote_numa_fill () =
+  let m = machine () in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:8 () in
+  ignore (Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0);
+  let c = Machine.touch m ~core:64 ~now_ns:100.0 ~write:false r 0 in
+  Alcotest.(check bool) "cross-socket cost" true (c >= 200.0);
+  Alcotest.(check int) "remote numa fill" 1
+    (Pmu.read (Machine.pmu m) ~core:64 Pmu.Fill_remote_numa)
+
+let test_write_invalidation () =
+  let m = machine () in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:8 () in
+  ignore (Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0);
+  ignore (Machine.touch m ~core:8 ~now_ns:100.0 ~write:false r 0);
+  (* a write from chiplet 2 invalidates both copies *)
+  ignore (Machine.touch m ~core:16 ~now_ns:200.0 ~write:true r 0);
+  Alcotest.(check int) "two invalidations" 2
+    (Pmu.read (Machine.pmu m) ~core:16 Pmu.Coherence_invalidation);
+  (* chiplet 0 must now re-fetch from chiplet 2 *)
+  let c = Machine.touch m ~core:2 ~now_ns:300.0 ~write:false r 0 in
+  Alcotest.(check bool) "refetch is a fill" true (c >= 80.0)
+
+let test_remote_dram () =
+  let m = machine () in
+  let r = Machine.alloc m ~policy:(Simmem.Bind 1) ~elt_bytes:8 ~count:8 () in
+  let c = Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0 in
+  Alcotest.(check bool) "remote dram cost" true (c >= 190.0);
+  Alcotest.(check int) "remote dram counted" 1
+    (Pmu.read (Machine.pmu m) ~core:0 Pmu.Dram_remote)
+
+let test_touch_range_lines () =
+  let m = machine () in
+  (* 64 elements of 8B = 8 cache lines *)
+  let r = Machine.alloc m ~elt_bytes:8 ~count:64 () in
+  ignore (Machine.touch_range m ~core:0 ~now_ns:0.0 ~write:false r ~lo:0 ~hi:64);
+  Alcotest.(check int) "8 dram line fills" 8
+    (Pmu.read (Machine.pmu m) ~core:0 Pmu.Dram_local)
+
+let test_flush () =
+  let m = machine () in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:8 () in
+  ignore (Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0);
+  Machine.flush_caches m;
+  let c = Machine.touch m ~core:0 ~now_ns:100.0 ~write:false r 0 in
+  Alcotest.(check bool) "cold again" true (c >= 110.0)
+
+
+let test_prefetch_discount () =
+  let m = machine () in
+  (* 512 elements x 8B = 64 lines, all cold DRAM *)
+  let r1 = Machine.alloc m ~elt_bytes:8 ~count:512 () in
+  let r2 = Machine.alloc m ~elt_bytes:8 ~count:512 () in
+  let seq = Machine.touch_range m ~core:0 ~now_ns:0.0 ~write:false r1 ~lo:0 ~hi:512 in
+  let random = ref 0.0 in
+  (* one element per cache line, touched individually *)
+  for i = 0 to 63 do
+    random := !random +. Machine.touch m ~core:0 ~now_ns:!random ~write:false r2 (i * 8)
+  done;
+  Alcotest.(check bool) "streaming is much cheaper than pointer chasing" true
+    (seq < 0.6 *. !random)
+
+let test_link_saturation () =
+  (* 8 cores of one chiplet streaming together must see higher latency
+     than a lone streamer (GMI link queueing) *)
+  let solo =
+    let m = machine () in
+    let r = Machine.alloc m ~elt_bytes:8 ~count:(1 lsl 16) () in
+    Machine.touch_range m ~core:0 ~now_ns:0.0 ~write:false r ~lo:0 ~hi:(1 lsl 16)
+  in
+  let crowded =
+    let m = machine () in
+    let regions = Array.init 8 (fun _ -> Machine.alloc m ~elt_bytes:8 ~count:(1 lsl 16) ()) in
+    (* interleave the 8 cores' streams in time so they share bins *)
+    let clocks = Array.make 8 0.0 in
+    let chunk = 512 in
+    for step = 0 to ((1 lsl 16) / chunk) - 1 do
+      for core = 0 to 7 do
+        let lo = step * chunk in
+        clocks.(core) <-
+          clocks.(core)
+          +. Machine.touch_range m ~core ~now_ns:clocks.(core) ~write:false
+               regions.(core) ~lo ~hi:(lo + chunk)
+      done
+    done;
+    clocks.(0)
+  in
+  Alcotest.(check bool) "contended stream slower" true (crowded > 1.2 *. solo)
+
+let suite =
+  [
+    Alcotest.test_case "dram then cache hits" `Quick test_dram_then_l3;
+    Alcotest.test_case "prefetch discount" `Quick test_prefetch_discount;
+    Alcotest.test_case "link saturation" `Quick test_link_saturation;
+    Alcotest.test_case "remote chiplet fill" `Quick test_remote_chiplet_fill;
+    Alcotest.test_case "remote numa fill" `Quick test_remote_numa_fill;
+    Alcotest.test_case "write invalidation" `Quick test_write_invalidation;
+    Alcotest.test_case "remote dram" `Quick test_remote_dram;
+    Alcotest.test_case "touch_range per line" `Quick test_touch_range_lines;
+    Alcotest.test_case "flush" `Quick test_flush;
+  ]

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "charm"
+    [
+      ("topology", Test_topology.suite);
+      ("latency", Test_latency.suite);
+      ("cache", Test_cache.suite);
+      ("directory", Test_directory.suite);
+      ("pmu", Test_pmu.suite);
+      ("memchan", Test_memchan.suite);
+      ("simmem", Test_simmem.suite);
+      ("machine", Test_machine.suite);
+      ("rng", Test_rng.suite);
+      ("coroutine", Test_coroutine.suite);
+      ("wsqueue", Test_wsqueue.suite);
+      ("sched-smoke", Test_sched_smoke.suite);
+      ("sched", Test_sched.suite);
+      ("barrier", Test_barrier.suite);
+      ("future", Test_future.suite);
+      ("trace", Test_trace.suite);
+      ("placement", Test_placement.suite);
+      ("profiler", Test_profiler.suite);
+      ("controller", Test_controller.suite);
+      ("policy", Test_policy.suite);
+      ("runtime", Test_runtime.suite);
+      ("baselines", Test_baselines.suite);
+      ("graph", Test_graph.suite);
+      ("analytics", Test_analytics.suite);
+      ("streamcluster", Test_streamcluster.suite);
+      ("par", Test_par.suite);
+      ("exec", Test_exec.suite);
+      ("olap", Test_olap.suite);
+      ("oltp", Test_oltp.suite);
+    ]

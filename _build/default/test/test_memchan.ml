@@ -1,0 +1,63 @@
+open Chipsim
+
+let chan () =
+  Memchan.create ~bin_ns:1000.0 ~nodes:2 ~channels_per_node:2
+    ~bytes_per_ns_per_channel:1.0 ~line_bytes:64 ()
+(* capacity per bin = 2 * 1.0 * 1000 = 2000 bytes = ~31 lines *)
+
+let test_uncontended () =
+  let c = chan () in
+  let l = Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0 in
+  Alcotest.(check bool) "near base" true (l >= 100.0 && l < 120.0)
+
+let test_contention_grows () =
+  let c = chan () in
+  let first = Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0 in
+  (* hammer the same bin far past saturation *)
+  let last = ref first in
+  for _ = 1 to 100 do
+    last := Memchan.access_ns c ~node:0 ~now_ns:10.0 ~base_ns:100.0
+  done;
+  Alcotest.(check bool) "saturated latency grows" true (!last > 2.0 *. first);
+  Alcotest.(check bool) "load ratio > 1" true (Memchan.load_ratio c ~node:0 ~now_ns:10.0 > 1.0)
+
+let test_nodes_independent () =
+  let c = chan () in
+  for _ = 1 to 100 do
+    ignore (Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0)
+  done;
+  let l = Memchan.access_ns c ~node:1 ~now_ns:0.0 ~base_ns:100.0 in
+  Alcotest.(check bool) "other node unaffected" true (l < 140.0)
+
+let test_bins_roll () =
+  let c = chan () in
+  for _ = 1 to 100 do
+    ignore (Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0)
+  done;
+  (* a later bin starts fresh *)
+  let l = Memchan.access_ns c ~node:0 ~now_ns:5_000.0 ~base_ns:100.0 in
+  Alcotest.(check bool) "fresh bin" true (l < 140.0)
+
+let test_bytes_served () =
+  let c = chan () in
+  for _ = 1 to 10 do
+    ignore (Memchan.access_ns c ~node:1 ~now_ns:0.0 ~base_ns:50.0)
+  done;
+  Alcotest.(check int) "bytes" 640 (Memchan.bytes_served c ~node:1);
+  Memchan.reset c;
+  Alcotest.(check int) "reset" 0 (Memchan.bytes_served c ~node:1)
+
+let test_bad_node () =
+  let c = chan () in
+  Alcotest.check_raises "node range" (Invalid_argument "Memchan: node out of range")
+    (fun () -> ignore (Memchan.access_ns c ~node:2 ~now_ns:0.0 ~base_ns:1.0))
+
+let suite =
+  [
+    Alcotest.test_case "uncontended near base" `Quick test_uncontended;
+    Alcotest.test_case "contention inflates" `Quick test_contention_grows;
+    Alcotest.test_case "nodes independent" `Quick test_nodes_independent;
+    Alcotest.test_case "bins roll over" `Quick test_bins_roll;
+    Alcotest.test_case "bytes served" `Quick test_bytes_served;
+    Alcotest.test_case "bad node" `Quick test_bad_node;
+  ]

@@ -1,0 +1,62 @@
+open Chipsim
+
+let test_incr_read () =
+  let pmu = Pmu.create ~cores:4 in
+  Pmu.incr pmu ~core:1 Pmu.L2_hit;
+  Pmu.add pmu ~core:1 Pmu.L2_hit 4;
+  Alcotest.(check int) "core 1" 5 (Pmu.read pmu ~core:1 Pmu.L2_hit);
+  Alcotest.(check int) "core 0 untouched" 0 (Pmu.read pmu ~core:0 Pmu.L2_hit);
+  Alcotest.(check int) "total" 5 (Pmu.total pmu Pmu.L2_hit)
+
+let test_snapshot_delta () =
+  let pmu = Pmu.create ~cores:2 in
+  Pmu.incr pmu ~core:0 Pmu.Dram_local;
+  let before = Pmu.snapshot pmu in
+  Pmu.add pmu ~core:0 Pmu.Dram_local 7;
+  Pmu.incr pmu ~core:1 Pmu.Dram_remote;
+  let after = Pmu.snapshot pmu in
+  Alcotest.(check int) "delta core 0" 7 (Pmu.delta ~before ~after ~core:0 Pmu.Dram_local);
+  Alcotest.(check int) "delta total remote" 1 (Pmu.delta_total ~before ~after Pmu.Dram_remote)
+
+let test_remote_fill_events () =
+  let pmu = Pmu.create ~cores:1 in
+  Pmu.incr pmu ~core:0 Pmu.Fill_remote_chiplet;
+  Pmu.incr pmu ~core:0 Pmu.Fill_remote_numa;
+  Pmu.incr pmu ~core:0 Pmu.Dram_local;
+  Pmu.incr pmu ~core:0 Pmu.Dram_remote;
+  Pmu.incr pmu ~core:0 Pmu.L3_local_hit;  (* not remote *)
+  Alcotest.(check int) "alg1 counter" 4 (Pmu.remote_fill_events pmu ~core:0)
+
+let test_reset () =
+  let pmu = Pmu.create ~cores:2 in
+  Pmu.incr pmu ~core:0 Pmu.Migration;
+  Pmu.incr pmu ~core:1 Pmu.Migration;
+  Pmu.reset_core pmu ~core:0;
+  Alcotest.(check int) "core 0 reset" 0 (Pmu.read pmu ~core:0 Pmu.Migration);
+  Alcotest.(check int) "core 1 kept" 1 (Pmu.read pmu ~core:1 Pmu.Migration);
+  Pmu.reset pmu;
+  Alcotest.(check int) "all reset" 0 (Pmu.total pmu Pmu.Migration)
+
+let test_bounds () =
+  let pmu = Pmu.create ~cores:2 in
+  Alcotest.check_raises "core out of range" (Invalid_argument "Pmu: core out of range")
+    (fun () -> Pmu.incr pmu ~core:2 Pmu.L2_hit)
+
+let test_event_names_unique () =
+  let names = List.map Pmu.event_name Pmu.all_events in
+  Alcotest.(check int) "count" Pmu.num_events (List.length names);
+  Alcotest.(check int) "unique" Pmu.num_events
+    (List.length (List.sort_uniq compare names));
+  let idxs = List.map Pmu.event_index Pmu.all_events in
+  Alcotest.(check int) "indices unique" Pmu.num_events
+    (List.length (List.sort_uniq compare idxs))
+
+let suite =
+  [
+    Alcotest.test_case "incr/read/total" `Quick test_incr_read;
+    Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
+    Alcotest.test_case "remote fill counter" `Quick test_remote_fill_events;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "event names unique" `Quick test_event_names_unique;
+  ]

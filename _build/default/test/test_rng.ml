@@ -1,0 +1,92 @@
+open Engine
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different first draw" true (Rng.next a <> Rng.next b)
+
+let test_split_independent () =
+  let a = Rng.create 1 in
+  let c = Rng.split a in
+  let x = Rng.next a and y = Rng.next c in
+  Alcotest.(check bool) "streams diverge" true (x <> y)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int stays in [0, bound)" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"float stays in [0, bound)" ~count:500
+    QCheck.(pair (float_range 0.001 1e6) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let test_int_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_zipf_skew () =
+  let rng = Rng.create 11 in
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.zipf rng ~n ~theta:0.99 in
+    hits.(k) <- hits.(k) + 1
+  done;
+  (* hot head: the most popular key draws far more than uniform share *)
+  Alcotest.(check bool) "head is hot" true (hits.(0) > 20 * (20_000 / n));
+  let total = Array.fold_left ( + ) 0 hits in
+  Alcotest.(check int) "all draws in range" 20_000 total
+
+let prop_zipf_in_bounds =
+  QCheck.Test.make ~name:"zipf stays in [0, n)" ~count:300
+    QCheck.(pair (int_range 1 10_000) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.zipf rng ~n ~theta:0.99 in
+      v >= 0 && v < n)
+
+let test_zipf_validation () =
+  let rng = Rng.create 1 in
+  (try
+     ignore (Rng.zipf rng ~n:0 ~theta:0.5);
+     Alcotest.fail "accepted n=0"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Rng.zipf rng ~n:10 ~theta:1.0);
+    Alcotest.fail "accepted theta=1"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf validation" `Quick test_zipf_validation;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "bad bound" `Quick test_int_bad_bound;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_float_in_bounds;
+    QCheck_alcotest.to_alcotest prop_zipf_in_bounds;
+  ]

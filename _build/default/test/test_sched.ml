@@ -1,0 +1,129 @@
+open Chipsim
+open Engine
+
+let machine () = Machine.create (Presets.amd_milan ())
+
+let test_migrate () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:2 ~placement:(fun w -> w) in
+  Sched.migrate sched ~worker:0 ~core:32;
+  Alcotest.(check int) "new core" 32 (Sched.worker_core sched 0);
+  Alcotest.(check (option int)) "ownership moved" (Some 0) (Sched.worker_of_core sched 32);
+  Alcotest.(check (option int)) "old core free" None (Sched.worker_of_core sched 0);
+  Alcotest.(check bool) "migration charged" true (Sched.worker_clock sched 0 > 0.0);
+  Alcotest.(check int) "pmu migration" 1 (Pmu.read (Machine.pmu m) ~core:32 Pmu.Migration);
+  Alcotest.check_raises "occupied target"
+    (Invalid_argument "Sched.migrate: core 1 already owned by worker 1") (fun () ->
+      Sched.migrate sched ~worker:0 ~core:1)
+
+let test_placement_collision_rejected () =
+  let m = machine () in
+  try
+    ignore (Sched.create m ~n_workers:2 ~placement:(fun _ -> 3));
+    Alcotest.fail "accepted colliding placement"
+  with Invalid_argument _ -> ()
+
+let test_deadlock_detected () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:1 ~placement:(fun w -> w) in
+  ignore
+    (Sched.spawn sched (fun ctx ->
+         (* suspend with a registrar that never wakes us *)
+         Sched.Ctx.suspend ctx (fun _task -> ())));
+  Alcotest.check_raises "deadlock" Sched.Deadlock (fun () ->
+      ignore (Sched.run sched : float))
+
+let test_ready_at_delays () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:1 ~placement:(fun w -> w) in
+  let seen = ref 0.0 in
+  ignore
+    (Sched.spawn sched ~at:5_000.0 (fun ctx -> seen := Sched.Ctx.now ctx));
+  ignore (Sched.run sched : float);
+  Alcotest.(check bool) "not before ready time" true (!seen >= 5_000.0)
+
+let test_os_threads_cost_more () =
+  let run_with config =
+    let m = machine () in
+    let sched = Sched.create ~config m ~n_workers:4 ~placement:(fun w -> w) in
+    for _ = 1 to 64 do
+      ignore (Sched.spawn sched (fun ctx -> Sched.Ctx.work ctx 100.0))
+    done;
+    Sched.run sched
+  in
+  let coroutines = run_with Sched.default_config in
+  let os_threads =
+    run_with
+      {
+        Sched.default_config with
+        Sched.task_model = Sched.Os_threads { spawn_ns = 20_000.0; switch_ns = 2_000.0 };
+      }
+  in
+  Alcotest.(check bool) "kernel threads slower" true (os_threads > 3.0 *. coroutines)
+
+let test_concurrency_samples () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:2 ~placement:(fun w -> w) in
+  for _ = 1 to 8 do
+    ignore (Sched.spawn sched (fun ctx -> Sched.Ctx.work ctx 50.0))
+  done;
+  ignore (Sched.run sched : float);
+  let samples = Sched.concurrency_samples sched in
+  Alcotest.(check int) "one sample per finish" 8 (Array.length samples);
+  let _, last = samples.(Array.length samples - 1) in
+  Alcotest.(check int) "drains to zero" 0 last
+
+let test_worker_local_spawn () =
+  let m = machine () in
+  let sched = Sched.create ~config:{ Sched.default_config with Sched.steal_enabled = false }
+      m ~n_workers:2 ~placement:(fun w -> w) in
+  let child_worker = ref (-1) in
+  ignore
+    (Sched.spawn sched ~worker:1 (fun ctx ->
+         let child = Sched.Ctx.spawn ctx (fun ctx' -> child_worker := Sched.Ctx.worker_id ctx') in
+         Sched.Ctx.await ctx child));
+  ignore (Sched.run sched : float);
+  Alcotest.(check int) "child inherits spawner's worker" 1 !child_worker
+
+let test_charge () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:1 ~placement:(fun w -> w) in
+  Sched.charge sched ~worker:0 123.0;
+  Alcotest.(check (float 0.001)) "charged" 123.0 (Sched.worker_clock sched 0)
+
+let test_quantum_hook_runs () =
+  let m = machine () in
+  let count = ref 0 in
+  let hooks =
+    { Sched.no_hooks with Sched.on_quantum_end = (fun _ _ -> incr count) }
+  in
+  let sched = Sched.create ~hooks m ~n_workers:1 ~placement:(fun w -> w) in
+  ignore
+    (Sched.spawn sched (fun ctx ->
+         Sched.Ctx.yield ctx;
+         Sched.Ctx.yield ctx));
+  ignore (Sched.run sched : float);
+  Alcotest.(check int) "hook per quantum" 3 !count
+
+let test_sync_clocks () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:3 ~placement:(fun w -> w) in
+  Sched.charge sched ~worker:1 5_000.0;
+  Sched.sync_clocks sched;
+  for w = 0 to 2 do
+    Alcotest.(check (float 0.001)) "aligned" 5_000.0 (Sched.worker_clock sched w)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "migrate" `Quick test_migrate;
+    Alcotest.test_case "sync_clocks" `Quick test_sync_clocks;
+    Alcotest.test_case "placement collision rejected" `Quick test_placement_collision_rejected;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "ready_at delays" `Quick test_ready_at_delays;
+    Alcotest.test_case "os threads cost more" `Quick test_os_threads_cost_more;
+    Alcotest.test_case "concurrency samples" `Quick test_concurrency_samples;
+    Alcotest.test_case "worker-local spawn" `Quick test_worker_local_spawn;
+    Alcotest.test_case "external charge" `Quick test_charge;
+    Alcotest.test_case "quantum hook" `Quick test_quantum_hook_runs;
+  ]

@@ -1,0 +1,76 @@
+open Chipsim
+
+let amd () = Presets.amd_milan ()
+
+let test_geometry () =
+  let t = amd () in
+  Alcotest.(check int) "cores" 128 (Topology.num_cores t);
+  Alcotest.(check int) "chiplets" 16 (Topology.num_chiplets t);
+  Alcotest.(check int) "cores/socket" 64 (Topology.cores_per_socket t)
+
+let test_mapping () =
+  let t = amd () in
+  Alcotest.(check int) "chiplet of core 0" 0 (Topology.chiplet_of_core t 0);
+  Alcotest.(check int) "chiplet of core 63" 7 (Topology.chiplet_of_core t 63);
+  Alcotest.(check int) "chiplet of core 64" 8 (Topology.chiplet_of_core t 64);
+  Alcotest.(check int) "socket of core 63" 0 (Topology.socket_of_core t 63);
+  Alcotest.(check int) "socket of core 64" 1 (Topology.socket_of_core t 64);
+  Alcotest.(check int) "socket of chiplet 8" 1 (Topology.socket_of_chiplet t 8);
+  Alcotest.(check (list int)) "cores of chiplet 1" [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Topology.cores_of_chiplet t 1);
+  Alcotest.(check (list int)) "chiplets of socket 1"
+    [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Topology.chiplets_of_socket t 1)
+
+let test_predicates () =
+  let t = amd () in
+  Alcotest.(check bool) "same chiplet" true (Topology.same_chiplet t 0 7);
+  Alcotest.(check bool) "not same chiplet" false (Topology.same_chiplet t 7 8);
+  Alcotest.(check bool) "same socket" true (Topology.same_socket t 0 63);
+  Alcotest.(check bool) "not same socket" false (Topology.same_socket t 63 64)
+
+let test_validation () =
+  let t = amd () in
+  Alcotest.check_raises "negative core" (Invalid_argument "Topology: core -1 out of range [0,128)")
+    (fun () -> Topology.validate_core t (-1));
+  Alcotest.check_raises "overflow core" (Invalid_argument "Topology: core 128 out of range [0,128)")
+    (fun () -> Topology.validate_core t 128);
+  (try
+     ignore (Topology.v ~sockets:0 ~chiplets_per_socket:1 ~cores_per_chiplet:1 ());
+     Alcotest.fail "accepted zero sockets"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Topology.v ~chiplet_group_size:3 ~sockets:1 ~chiplets_per_socket:8
+          ~cores_per_chiplet:8 ());
+     Alcotest.fail "accepted bad group size"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Topology.v ~line_bytes:48 ~sockets:1 ~chiplets_per_socket:1 ~cores_per_chiplet:1 ());
+    Alcotest.fail "accepted non-power-of-two line"
+  with Invalid_argument _ -> ()
+
+let prop_core_roundtrip =
+  QCheck.Test.make ~name:"core <-> chiplet mapping is consistent" ~count:200
+    QCheck.(pair (int_range 0 127) unit)
+    (fun (core, ()) ->
+      let t = amd () in
+      let chiplet = Topology.chiplet_of_core t core in
+      List.mem core (Topology.cores_of_chiplet t chiplet))
+
+let prop_first_core =
+  QCheck.Test.make ~name:"first core of chiplet lies on it" ~count:100
+    QCheck.(int_range 0 15)
+    (fun chiplet ->
+      let t = amd () in
+      Topology.chiplet_of_core t (Topology.first_core_of_chiplet t chiplet) = chiplet)
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "mapping" `Quick test_mapping;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_core_roundtrip;
+    QCheck_alcotest.to_alcotest prop_first_core;
+  ]

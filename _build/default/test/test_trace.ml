@@ -1,0 +1,57 @@
+open Chipsim
+open Engine
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_records_and_serializes () =
+  let t = Trace.create () in
+  Trace.task_quantum t ~worker:0 ~core:3 ~task_id:7 ~start_ns:100.0 ~end_ns:400.0;
+  Trace.migration t ~worker:1 ~from_core:3 ~to_core:9 ~at_ns:500.0;
+  Trace.policy_decision t ~worker:1 ~spread:4 ~at_ns:600.0;
+  Trace.instant t ~name:"phase" ~at_ns:700.0;
+  Alcotest.(check int) "four events" 4 (Trace.num_events t);
+  let json = Trace.to_chrome_json t in
+  Alcotest.(check bool) "array" true
+    (String.length json > 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  Alcotest.(check bool) "quantum event present" true
+    (contains json {|"cat":"quantum"|});
+  Alcotest.(check bool) "migration event present" true
+    (contains json {|"migrate 3->9"|})
+
+let test_disable () =
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Trace.instant t ~name:"x" ~at_ns:0.0;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.num_events t);
+  Trace.set_enabled t true;
+  Trace.instant t ~name:"y" ~at_ns:0.0;
+  Alcotest.(check int) "recording again" 1 (Trace.num_events t)
+
+let test_clear () =
+  let t = Trace.create () in
+  Trace.instant t ~name:"a" ~at_ns:1.0;
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.num_events t);
+  Alcotest.(check string) "empty json" "[]" (Trace.to_chrome_json t)
+
+let test_hooked_scheduler () =
+  let m = Machine.create (Presets.amd_milan ()) in
+  let sched = Sched.create m ~n_workers:2 ~placement:(fun w -> w) in
+  let t = Trace.create () in
+  Sched.set_hooks sched (Trace.hook t sched ~hooks:Sched.no_hooks);
+  for _ = 1 to 4 do
+    ignore (Sched.spawn sched (fun ctx -> Sched.Ctx.work ctx 100.0))
+  done;
+  ignore (Sched.run sched : float);
+  Alcotest.(check bool) "one quantum event per quantum" true (Trace.num_events t >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "records and serializes" `Quick test_records_and_serializes;
+    Alcotest.test_case "disable" `Quick test_disable;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "hooked scheduler" `Quick test_hooked_scheduler;
+  ]

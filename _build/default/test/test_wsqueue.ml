@@ -1,0 +1,78 @@
+open Engine
+
+let test_lifo_owner () =
+  let q = Wsqueue.create () in
+  Wsqueue.push q 1;
+  Wsqueue.push q 2;
+  Wsqueue.push q 3;
+  Alcotest.(check (option int)) "pop newest" (Some 3) (Wsqueue.pop q);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Wsqueue.pop q);
+  Alcotest.(check (option int)) "then 1" (Some 1) (Wsqueue.pop q);
+  Alcotest.(check (option int)) "empty" None (Wsqueue.pop q)
+
+let test_fifo_and_steal () =
+  let q = Wsqueue.create () in
+  Wsqueue.push q 1;
+  Wsqueue.push q 2;
+  Wsqueue.push q 3;
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Wsqueue.steal q);
+  Alcotest.(check (option int)) "pop_front next oldest" (Some 2) (Wsqueue.pop_front q);
+  Alcotest.(check (option int)) "owner pop newest" (Some 3) (Wsqueue.pop q)
+
+let test_growth () =
+  let q = Wsqueue.create () in
+  for i = 0 to 999 do
+    Wsqueue.push q i
+  done;
+  Alcotest.(check int) "length" 1000 (Wsqueue.length q);
+  for i = 0 to 999 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Wsqueue.pop_front q)
+  done
+
+let test_to_list_and_clear () =
+  let q = Wsqueue.create () in
+  List.iter (Wsqueue.push q) [ 5; 6; 7 ];
+  Alcotest.(check (list int)) "oldest first" [ 5; 6; 7 ] (Wsqueue.to_list q);
+  Wsqueue.clear q;
+  Alcotest.(check bool) "empty" true (Wsqueue.is_empty q)
+
+(* model-based property: the deque behaves like a reference list *)
+let prop_model =
+  let gen_ops = QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 3)) in
+  QCheck.Test.make ~name:"deque matches list model" ~count:200 gen_ops (fun ops ->
+      let q = Wsqueue.create () in
+      let model = ref [] in
+      let counter = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Wsqueue.push q !counter;
+              model := !model @ [ !counter ]
+          | 1 -> (
+              let got = Wsqueue.pop q in
+              match List.rev !model with
+              | [] -> if got <> None then ok := false
+              | last :: rest ->
+                  if got <> Some last then ok := false;
+                  model := List.rev rest)
+          | _ -> (
+              let got = Wsqueue.steal q in
+              match !model with
+              | [] -> if got <> None then ok := false
+              | first :: rest ->
+                  if got <> Some first then ok := false;
+                  model := rest))
+        ops;
+      !ok && Wsqueue.length q = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "LIFO owner pops" `Quick test_lifo_owner;
+    Alcotest.test_case "FIFO steals" `Quick test_fifo_and_steal;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "to_list / clear" `Quick test_to_list_and_clear;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]
