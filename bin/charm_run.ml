@@ -30,12 +30,15 @@ let workloads =
   [ "bfs"; "pr"; "cc"; "sssp"; "gups"; "graph500"; "streamcluster"; "sgd";
     "tpch"; "ycsb"; "tpcc" ]
 
-let run_workload env inst ~workload ~graph_scale ~query =
+let run_workload env inst ~workload ~graph_scale ~query ~seed =
   let open Workloads in
   let alloc ~elt_bytes ~count = env.Exec_env.alloc_shared ~elt_bytes ~count in
+  (* [-seed] reseeds every input generator; absent, each keeps its
+     built-in default so existing runs reproduce unchanged *)
+  let seeded default mk = match seed with None -> default | Some s -> mk s in
   let graph ~weighted =
     Csr.of_kronecker ~weighted ~alloc
-      (Kronecker.generate ~scale:graph_scale ~edge_factor:16 ())
+      (Kronecker.generate ?seed ~scale:graph_scale ~edge_factor:16 ())
   in
   let source g =
     let rec go v = if v >= g.Csr.n - 1 || Csr.degree g v > 0 then v else go (v + 1) in
@@ -59,23 +62,30 @@ let run_workload env inst ~workload ~graph_scale ~query =
       let _, r = Sssp.run env g ~source:(source g) in
       Printf.printf "SSSP: %.3e relaxations/s\n" (Workload_result.throughput_per_s r)
   | "gups" ->
-      let r = Gups.run env Gups.default_params in
+      let p = seeded Gups.default_params (fun s -> { Gups.default_params with Gups.seed = s }) in
+      let r = Gups.run env p in
       Printf.printf "GUPS: %.4f giga-updates/s\n" (Gups.gups r)
   | "graph500" ->
       let g = graph ~weighted:false in
-      let r = Graph500.run env g { Graph500.default_params with Graph500.scale = graph_scale } in
+      let p = { Graph500.default_params with Graph500.scale = graph_scale } in
+      let p = seeded p (fun s -> { p with Graph500.seed = s }) in
+      let r = Graph500.run env g p in
       Printf.printf "Graph500: %.3e TEPS\n" (Graph500.teps r)
   | "streamcluster" ->
-      let o = Streamcluster.run env Streamcluster.default_params in
+      let p =
+        seeded Streamcluster.default_params (fun s ->
+            { Streamcluster.default_params with Streamcluster.seed = s })
+      in
+      let o = Streamcluster.run env p in
       Printf.printf "Streamcluster: %.3e point-center evals/s (cost %.1f, %d centers)\n"
         (Workload_result.throughput_per_s o.Streamcluster.result)
         o.Streamcluster.total_cost o.Streamcluster.centers_opened
   | "sgd" ->
-      let data = Dataset.generate ~alloc ~samples:1024 ~features:1024 () in
+      let data = Dataset.generate ~alloc ?seed ~samples:1024 ~features:1024 () in
       let o = Dimmwitted.run env ~replica:Sgd.Per_node data in
       Format.printf "%a@." Dimmwitted.pp o
   | "tpch" ->
-      let data = Olap.Tpch_data.generate ~alloc ~sf:0.01 () in
+      let data = Olap.Tpch_data.generate ~alloc ?seed ~sf:0.01 () in
       let qs = match query with Some q -> [ q ] | None -> Olap.Tpch_queries.query_numbers in
       List.iter
         (fun q ->
@@ -84,24 +94,26 @@ let run_workload env inst ~workload ~graph_scale ~query =
             r.Olap.Tpch_queries.checksum r.Olap.Tpch_queries.rows_out)
         qs
   | "ycsb" ->
-      let o = Oltp.Ycsb.run env Oltp.Ycsb.default_params in
+      let p = seeded Oltp.Ycsb.default_params (fun s -> { Oltp.Ycsb.default_params with Oltp.Ycsb.seed = s }) in
+      let o = Oltp.Ycsb.run env p in
       Printf.printf "YCSB: %.3e commits/s (%d commits)\n" o.Oltp.Ycsb.commits_per_second
         o.Oltp.Ycsb.commits
   | "tpcc" ->
-      let o = Oltp.Tpcc.run env Oltp.Tpcc.default_params in
+      let p = seeded Oltp.Tpcc.default_params (fun s -> { Oltp.Tpcc.default_params with Oltp.Tpcc.seed = s }) in
+      let o = Oltp.Tpcc.run env p in
       Printf.printf "TPC-C: %.3e commits/s (%d new orders)\n"
         o.Oltp.Tpcc.commits_per_second o.Oltp.Tpcc.new_orders
   | other -> Printf.eprintf "unknown workload %s\n" other);
   let report = Sys_.report inst in
   Format.printf "---@.%a@." Engine.Stats.pp report
 
-let main sys machine workers cache_scale workload graph_scale query =
+let main sys machine workers cache_scale workload graph_scale query seed =
   let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
   Printf.printf "system=%s machine=[%s] workers=%d cache-scale=%d\n"
     (Sys_.sys_name sys)
     (Format.asprintf "%a" Chipsim.Topology.pp (Chipsim.Machine.topology inst.Sys_.machine))
     workers cache_scale;
-  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query
+  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed
 
 let sys_arg =
   Arg.(value & opt (enum systems) Sys_.Charm & info [ "s"; "system" ] ~doc:"Runtime system.")
@@ -127,12 +139,19 @@ let graph_scale_arg =
 let query_arg =
   Arg.(value & opt (some int) None & info [ "q"; "query" ] ~doc:"TPC-H query number.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ]
+        ~doc:"Seed for all input generators (graph, tables, access streams).")
+
 let cmd =
   let doc = "run a workload on the simulated chiplet machine under a runtime system" in
   Cmd.v
     (Cmd.info "charm_run" ~doc)
     Term.(
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
-      $ workload_arg $ graph_scale_arg $ query_arg)
+      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg)
 
 let () = exit (Cmd.eval cmd)

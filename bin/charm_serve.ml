@@ -1,0 +1,161 @@
+(* charm_serve: online multi-tenant serving of a job mix on the simulated
+   chiplet machine under a runtime system — Poisson (or closed-loop)
+   arrivals, admission control, weighted fair queueing, and a JSON metrics
+   report on stdout (deterministic for a given seed: two identical
+   invocations print identical bytes).
+
+   Examples:
+     charm_serve -s charm -m amd -n 32 --rate 5000 --seed 42
+     charm_serve -s ring -n 32 --rate 8000 --jobs 100 --queue-bound 16
+     charm_serve -s charm -n 32 --closed-loop 8 --think-us 50 *)
+
+open Cmdliner
+module Sys_ = Harness.Systems
+module Serve = Serving
+
+let systems =
+  [
+    ("charm", Sys_.Charm);
+    ("charm-async", Sys_.Charm_os_threads);
+    ("ring", Sys_.Ring);
+    ("dw-native", Sys_.Dw_native);
+    ("shoal", Sys_.Shoal);
+    ("asymsched", Sys_.Asymsched);
+    ("sam", Sys_.Sam);
+    ("os-default", Sys_.Os_default);
+    ("local-cache", Sys_.Local_cache);
+    ("distributed-cache", Sys_.Distributed_cache);
+  ]
+
+let machines =
+  [ ("amd", Sys_.Amd_milan); ("amd1s", Sys_.Amd_milan_1s); ("intel", Sys_.Intel_spr) ]
+
+(* tenant mixes are "name:weight:kind+kind+..." triples; the default three
+   tenants mirror the paper's workload families *)
+let parse_tenant spec =
+  match String.split_on_char ':' spec with
+  | name :: weight :: kinds ->
+      let weight = float_of_string_opt weight in
+      let kinds =
+        (* kind names may contain ':' (tpch:3), so rejoin before splitting
+           on the '+' separators *)
+        String.concat ":" kinds |> String.split_on_char '+'
+        |> List.map Serve.Job.kind_of_string
+      in
+      if
+        weight = None || Option.get weight <= 0.0 || kinds = []
+        || List.exists (fun k -> k = None) kinds
+      then Error (`Msg ("bad tenant spec: " ^ spec))
+      else
+        Ok
+          ( name,
+            Option.get weight,
+            List.filter_map (fun k -> k) kinds |> List.map (fun k -> (k, 1)) )
+  | _ -> Error (`Msg ("bad tenant spec: " ^ spec))
+
+let default_mixes =
+  [
+    ("graph", 2.0, [ (Serve.Job.Bfs, 2); (Serve.Job.Pagerank, 1) ]);
+    ("olap", 1.0, [ (Serve.Job.Tpch 1, 1); (Serve.Job.Tpch 3, 1); (Serve.Job.Tpch 6, 1) ]);
+    ("oltp", 1.0, [ (Serve.Job.Ycsb_batch 256, 2); (Serve.Job.Gups 4096, 1) ]);
+  ]
+
+let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
+    slo_factor closed_loop think_us tenant_specs graph_scale =
+  if closed_loop = None && rate <= 0.0 then begin
+    Printf.eprintf "charm_serve: --rate must be positive\n";
+    exit 2
+  end;
+  let mixes = if tenant_specs = [] then default_mixes else tenant_specs in
+  let process =
+    match closed_loop with
+    | Some clients ->
+        Serve.Arrivals.Closed_loop { clients; think_ns = think_us *. 1e3 }
+    | None -> Serve.Arrivals.Open_loop { rate_per_s = rate }
+  in
+  let tenants =
+    List.map
+      (fun (name, weight, mix) ->
+        { Serve.Server.name; weight; slo_factor; process; jobs; mix })
+      mixes
+  in
+  let cfg =
+    {
+      Serve.Server.tenants;
+      admission =
+        {
+          Serve.Admission.max_queue_per_tenant = queue_bound;
+          max_global_queue = queue_bound * max 2 (List.length tenants);
+        };
+      max_inflight;
+      seed;
+      data = { Serve.Job.default_data_config with graph_scale; seed = seed + 1 };
+      trace = None;
+    }
+  in
+  match
+    let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+    Serve.Server.run inst cfg
+  with
+  | report ->
+      print_string (Serve.Server.report_to_json report);
+      print_newline ()
+  | exception Invalid_argument msg ->
+      (* configuration rejected by the server or machine model: a user
+         error, not a crash *)
+      Printf.eprintf "charm_serve: %s\n" msg;
+      exit 2
+
+let tenant_conv = Arg.conv (parse_tenant, fun ppf (n, w, _) -> Format.fprintf ppf "%s:%g" n w)
+
+let sys_arg =
+  Arg.(value & opt (enum systems) Sys_.Charm & info [ "s"; "system" ] ~doc:"Runtime system.")
+
+let machine_arg =
+  Arg.(value & opt (enum machines) Sys_.Amd_milan & info [ "m"; "machine" ] ~doc:"Machine model.")
+
+let workers_arg =
+  Arg.(value & opt int 32 & info [ "n"; "workers" ] ~doc:"Worker threads.")
+
+let cache_scale_arg =
+  Arg.(value & opt int 16 & info [ "cache-scale" ] ~doc:"Divide cache capacities by this factor.")
+
+let rate_arg =
+  Arg.(value & opt float 5000.0 & info [ "rate" ] ~doc:"Offered load per tenant (jobs/s of virtual time).")
+
+let jobs_arg =
+  Arg.(value & opt int 40 & info [ "jobs" ] ~doc:"Jobs submitted per tenant.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master RNG seed.")
+
+let inflight_arg =
+  Arg.(value & opt int 4 & info [ "max-inflight" ] ~doc:"Concurrent jobs in service.")
+
+let queue_bound_arg =
+  Arg.(value & opt int 64 & info [ "queue-bound" ] ~doc:"Per-tenant admission queue bound.")
+
+let slo_arg =
+  Arg.(value & opt float 3.0 & info [ "slo-factor" ] ~doc:"SLO as a multiple of the tenant's mean job cost.")
+
+let closed_loop_arg =
+  Arg.(value & opt (some int) None & info [ "closed-loop" ] ~doc:"Closed-loop clients per tenant (instead of Poisson arrivals).")
+
+let think_arg =
+  Arg.(value & opt float 50.0 & info [ "think-us" ] ~doc:"Closed-loop think time (us of virtual time).")
+
+let tenants_arg =
+  Arg.(value & opt_all tenant_conv [] & info [ "tenant" ] ~doc:"Tenant spec name:weight:kind+kind (e.g. gold:2:bfs+tpch:3); repeatable.")
+
+let graph_scale_arg =
+  Arg.(value & opt int 10 & info [ "graph-scale" ] ~doc:"log2 of shared graph vertices.")
+
+let cmd =
+  let doc = "serve a multi-tenant job mix online on the simulated chiplet machine" in
+  Cmd.v
+    (Cmd.info "charm_serve" ~doc)
+    Term.(
+      const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
+      $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
+      $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -38,9 +38,9 @@ let spawn sched ?worker f =
     (Sched.spawn sched ?worker (fun ctx -> fulfill ctx t (f ctx)) : Sched.task);
   t
 
-let spawn_at ctx ?worker f =
+let spawn_at ctx ?worker ?at f =
   let t = create () in
   ignore
-    (Sched.Ctx.spawn ctx ?worker (fun ctx' -> fulfill ctx' t (f ctx'))
+    (Sched.Ctx.spawn ctx ?worker ?at (fun ctx' -> fulfill ctx' t (f ctx'))
       : Sched.task);
   t

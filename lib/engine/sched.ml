@@ -12,6 +12,7 @@ type config = {
   max_accesses_per_quantum : int;
   idle_quantum_ns : float;
   migration_cost_ns : float;
+  steal_horizon_ns : float;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     max_accesses_per_quantum = 2048;
     idle_quantum_ns = 400.0;
     migration_cost_ns = 1500.0;
+    steal_horizon_ns = 1_000.0;
   }
 
 type t = {
@@ -205,6 +207,7 @@ let machine t = t.machine
 let n_workers t = Array.length t.workers
 let config t = t.config
 let set_hooks t hooks = t.hooks <- hooks
+let hooks t = t.hooks
 let worker_core t w = t.workers.(w).core
 let worker_clock t w = t.workers.(w).clock
 
@@ -338,6 +341,28 @@ let rec pop_own t w =
         pop_own t w
   end
 
+(* Steal from one victim, skipping tasks scheduled beyond the thief's
+   steal horizon: running a far-future task (a timer, a pending arrival)
+   would drag the thief's clock forward, and every ready task it later
+   touches would finish "in the future".  Refused tasks go back to the
+   owner, who advances to them naturally when it runs dry. *)
+let steal_ready t w victim =
+  let n = Wsqueue.length victim.queue in
+  let horizon = w.clock +. t.config.steal_horizon_ns in
+  let rec go k =
+    if k >= n then None
+    else
+      match Wsqueue.steal victim.queue with
+      | None -> None
+      | Some task ->
+          if task.ready_at > horizon then begin
+            Wsqueue.push victim.queue task;
+            go (k + 1)
+          end
+          else Some task
+  in
+  go 0
+
 let try_steal t w =
   if not t.config.steal_enabled then None
   else begin
@@ -347,7 +372,7 @@ let try_steal t w =
       if i >= Array.length order then None
       else begin
         let victim = t.workers.(order.(i)) in
-        match Wsqueue.steal victim.queue with
+        match steal_ready t w victim with
         | Some task ->
             let cost =
               2.0 *. Latency.core_to_core_ns ~profile:(Machine.profile t.machine) topo w.core victim.core
@@ -390,8 +415,13 @@ let execute t w task =
   task.last_worker <- w.wid;
   let coro = Option.get task.coro in
   (match Coroutine.resume coro with
-  | Coroutine.Yielded -> enqueue t task
-  | Coroutine.Suspended -> ()
+  | Coroutine.Yielded ->
+      (* remember the progress point: if a lagging thief later steals this
+         task it must resume at or after where it left off, or task-local
+         time would run backward *)
+      task.ready_at <- w.clock;
+      enqueue t task
+  | Coroutine.Suspended -> task.ready_at <- w.clock
   | Coroutine.Finished ->
       task.finished <- true;
       t.live <- t.live - 1;
@@ -506,7 +536,11 @@ module Ctx = struct
     (match t.config.task_model with
     | Coroutines _ -> ()
     | Os_threads { spawn_ns; _ } -> charge c spawn_ns);
-    spawn t ~worker ?at body
+    (* causality: a child cannot start before its spawn — without this a
+       thief whose clock lags the spawner would run the child "in the
+       past", which breaks per-job latency accounting in serving mode *)
+    let at = match at with Some at -> at | None -> now c in
+    spawn t ~worker ~at body
 
   let await c task =
     if not task.finished then begin

@@ -34,6 +34,11 @@ type config = {
       (** {!Ctx.maybe_yield} yields after this many charged accesses *)
   idle_quantum_ns : float;  (** clock advance for a worker that finds no work *)
   migration_cost_ns : float;  (** charged to a worker when it changes core *)
+  steal_horizon_ns : float;
+      (** thieves only steal tasks ready within this window past their own
+          clock; tasks scheduled further out (timers, pending arrivals)
+          stay with their owner so steals cannot drag a worker's clock
+          into the far future *)
 }
 
 val default_config : config
@@ -63,6 +68,12 @@ val machine : t -> Machine.t
 val n_workers : t -> int
 val config : t -> config
 val set_hooks : t -> hooks -> unit
+
+val hooks : t -> hooks
+(** The currently installed hooks — lets observers (tracing, serving-layer
+    metrics) wrap the active policy hooks instead of replacing them. *)
+
+
 val worker_core : t -> int -> int
 val worker_clock : t -> int -> float
 val worker_of_core : t -> int -> int option

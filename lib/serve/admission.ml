@@ -1,0 +1,15 @@
+type config = { max_queue_per_tenant : int; max_global_queue : int }
+
+let default = { max_queue_per_tenant = 64; max_global_queue = 256 }
+
+type decision = Admit | Shed_tenant_full | Shed_server_full
+
+let decision_name = function
+  | Admit -> "admit"
+  | Shed_tenant_full -> "shed-tenant-full"
+  | Shed_server_full -> "shed-server-full"
+
+let decide cfg ~tenant_depth ~global_depth =
+  if tenant_depth >= cfg.max_queue_per_tenant then Shed_tenant_full
+  else if global_depth >= cfg.max_global_queue then Shed_server_full
+  else Admit

@@ -1,0 +1,29 @@
+(** Admission control: decide, per arriving job, whether to queue it or
+    shed it.
+
+    The controller is deliberately memoryless — the decision is a pure
+    function of the configured bounds and the observed queue depths — so
+    the serving loop stays deterministic and the policy is trivially
+    testable.  Back-pressure emerges from the bounds: an open-loop source
+    that outruns the dispatcher fills its tenant queue and every job
+    beyond the bound is dropped (counted, never silently). *)
+
+type config = {
+  max_queue_per_tenant : int;
+      (** upper bound on one tenant's queued (not yet dispatched) jobs *)
+  max_global_queue : int;  (** upper bound on the total queued jobs *)
+}
+
+val default : config
+(** 64 per tenant, 256 global. *)
+
+type decision =
+  | Admit
+  | Shed_tenant_full  (** the submitting tenant hit its own queue bound *)
+  | Shed_server_full  (** the shared queue bound was hit *)
+
+val decision_name : decision -> string
+
+val decide : config -> tenant_depth:int -> global_depth:int -> decision
+(** Tenant bound is checked first, so a greedy tenant is shed on its own
+    quota before it can push the server into global shedding. *)

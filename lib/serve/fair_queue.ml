@@ -1,0 +1,65 @@
+type 'a entry = { start : float; finish : float; seq : int; payload : 'a }
+
+type 'a tenant_state = {
+  weight : float;
+  mutable last_finish : float;
+  q : 'a entry Queue.t;
+}
+
+type 'a t = {
+  tenants : (int, 'a tenant_state) Hashtbl.t;
+  mutable ids : int list;  (* sorted, for deterministic scans *)
+  mutable vtime : float;
+  mutable next_seq : int;
+  mutable size : int;
+}
+
+let create () =
+  { tenants = Hashtbl.create 8; ids = []; vtime = 0.0; next_seq = 0; size = 0 }
+
+let add_tenant t ~tenant ~weight =
+  if weight <= 0.0 then invalid_arg "Fair_queue.add_tenant: weight <= 0";
+  if Hashtbl.mem t.tenants tenant then
+    invalid_arg "Fair_queue.add_tenant: duplicate tenant";
+  Hashtbl.add t.tenants tenant { weight; last_finish = 0.0; q = Queue.create () };
+  t.ids <- List.sort compare (tenant :: t.ids)
+
+let push t ~tenant ~cost payload =
+  if cost < 0.0 then invalid_arg "Fair_queue.push: negative cost";
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> invalid_arg "Fair_queue.push: unknown tenant"
+  | Some st ->
+      let start = Float.max t.vtime st.last_finish in
+      let finish = start +. (cost /. st.weight) in
+      st.last_finish <- finish;
+      Queue.add { start; finish; seq = t.next_seq; payload } st.q;
+      t.next_seq <- t.next_seq + 1;
+      t.size <- t.size + 1
+
+let pop t =
+  let best = ref None in
+  List.iter
+    (fun id ->
+      let st = Hashtbl.find t.tenants id in
+      match Queue.peek_opt st.q with
+      | None -> ()
+      | Some e -> (
+          match !best with
+          | Some (_, b) when (b.finish, b.seq) <= (e.finish, e.seq) -> ()
+          | _ -> best := Some (id, e)))
+    t.ids;
+  match !best with
+  | None -> None
+  | Some (id, e) ->
+      let st = Hashtbl.find t.tenants id in
+      ignore (Queue.pop st.q);
+      t.size <- t.size - 1;
+      t.vtime <- Float.max t.vtime e.start;
+      Some (id, e.payload)
+
+let length t = t.size
+
+let tenant_depth t ~tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> 0
+  | Some st -> Queue.length st.q

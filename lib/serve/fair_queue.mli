@@ -1,0 +1,31 @@
+(** Weighted fair queueing across tenants (start-time fair queueing).
+
+    Each tenant owns a FIFO of pending jobs; every pushed job gets a
+    virtual start tag [max (queue virtual time, tenant's last finish)] and
+    a finish tag [start + cost / weight].  {!pop} serves the smallest
+    finish tag (sequence number breaks ties, so order is total and
+    deterministic) and advances the queue's virtual time to the served
+    job's start tag.  A tenant with weight 2 therefore drains twice as
+    fast as a weight-1 tenant under equal per-job cost, and an idle tenant
+    accumulates no credit. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add_tenant : 'a t -> tenant:int -> weight:float -> unit
+(** Register [tenant] (any small non-negative id).
+    @raise Invalid_argument if the weight is not positive or the tenant
+    already exists. *)
+
+val push : 'a t -> tenant:int -> cost:float -> 'a -> unit
+(** Enqueue a job whose service demand is estimated at [cost] (any unit,
+    as long as it is consistent across tenants).
+    @raise Invalid_argument on an unknown tenant or negative cost. *)
+
+val pop : 'a t -> (int * 'a) option
+(** The next (tenant, job) in weighted-fair order; [None] when empty. *)
+
+val length : 'a t -> int
+val tenant_depth : 'a t -> tenant:int -> int
+(** 0 for unknown tenants. *)

@@ -1,0 +1,82 @@
+type t = {
+  min_value : float;
+  growth : float;
+  log_growth : float;
+  mutable counts : int array;  (* grown on demand *)
+  mutable total : int;
+  mutable sum : float;
+  mutable max_v : float;
+}
+
+let create ?(min_value = 1.0) ?(growth = 1.12) () =
+  if min_value <= 0.0 then invalid_arg "Histogram.create: min_value <= 0";
+  if growth <= 1.0 then invalid_arg "Histogram.create: growth <= 1";
+  {
+    min_value;
+    growth;
+    log_growth = log growth;
+    counts = Array.make 32 0;
+    total = 0;
+    sum = 0.0;
+    max_v = neg_infinity;
+  }
+
+(* bucket 0 = (-inf, min_value]; bucket i>0 = (min_value*g^(i-1), min_value*g^i] *)
+let bucket_of t v =
+  if v <= t.min_value then 0
+  else 1 + int_of_float (Float.floor (log (v /. t.min_value) /. t.log_growth))
+
+let bucket_upper t i =
+  if i = 0 then t.min_value else t.min_value *. (t.growth ** float_of_int i)
+
+let ensure t i =
+  let n = Array.length t.counts in
+  if i >= n then begin
+    let counts = Array.make (max (i + 1) (2 * n)) 0 in
+    Array.blit t.counts 0 counts 0 n;
+    t.counts <- counts
+  end
+
+let observe t v =
+  let i = bucket_of t v in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let sum t = t.sum
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let max_value t = t.max_v
+
+let quantile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.total))) in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank do
+      seen := !seen + t.counts.(!i);
+      if !seen < rank then incr i
+    done;
+    Float.min (bucket_upper t !i) t.max_v
+  end
+
+let p50 t = quantile t 0.50
+let p95 t = quantile t 0.95
+let p99 t = quantile t 0.99
+
+let merge dst src =
+  if dst.min_value <> src.min_value || dst.growth <> src.growth then
+    invalid_arg "Histogram.merge: incompatible bucket parameters";
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        ensure dst i;
+        dst.counts.(i) <- dst.counts.(i) + c
+      end)
+    src.counts;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v

@@ -1,0 +1,41 @@
+(** Log-bucketed latency histogram.
+
+    Bucket boundaries grow geometrically from [min_value], so a fixed,
+    small number of integer counters covers nanoseconds to seconds with a
+    bounded relative error of [growth - 1] per quantile.  This is the
+    HdrHistogram idea reduced to what the serving layer needs: cheap
+    [observe], deterministic quantiles, mergeability. *)
+
+type t
+
+val create : ?min_value:float -> ?growth:float -> unit -> t
+(** [min_value] is the upper bound of the first bucket (default 1.0, i.e.
+    1 ns when observing latencies in ns); [growth] is the geometric bucket
+    ratio (default 1.12, ~12%% worst-case quantile error).
+    @raise Invalid_argument if [min_value <= 0.] or [growth <= 1.]. *)
+
+val observe : t -> float -> unit
+(** Record one sample (negative samples count into the first bucket). *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: the upper bound of the bucket
+    holding the [ceil (q * count)]-th smallest sample, clamped to the
+    largest sample seen (so [quantile t 1.0 <= max_value t]).  0 when
+    empty.  Deterministic: depends only on the multiset of samples. *)
+
+val p50 : t -> float
+val p95 : t -> float
+val p99 : t -> float
+
+val merge : t -> t -> unit
+(** [merge dst src] adds [src]'s samples into [dst].
+    @raise Invalid_argument if the two histograms have different bucket
+    parameters. *)

@@ -1,0 +1,187 @@
+open Chipsim
+module Sched = Engine.Sched
+
+type kind =
+  | Bfs
+  | Pagerank
+  | Gups of int
+  | Tpch of int
+  | Ycsb_batch of int
+
+let kind_name = function
+  | Bfs -> "bfs"
+  | Pagerank -> "pagerank"
+  | Gups n -> Printf.sprintf "gups:%d" n
+  | Tpch q -> Printf.sprintf "tpch:%d" q
+  | Ycsb_batch n -> Printf.sprintf "ycsb:%d" n
+
+let default_gups_updates = 4096
+let default_ycsb_ops = 256
+
+let kind_of_string s =
+  let parse_sized prefix mk default =
+    if s = prefix then Some (mk default)
+    else
+      let plen = String.length prefix + 1 in
+      if
+        String.length s > plen
+        && String.sub s 0 plen = prefix ^ ":"
+      then
+        match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+        | Some n when n > 0 -> Some (mk n)
+        | _ -> None
+      else None
+  in
+  match s with
+  | "bfs" -> Some Bfs
+  | "pr" | "pagerank" -> Some Pagerank
+  | _ -> (
+      match parse_sized "gups" (fun n -> Gups n) default_gups_updates with
+      | Some k -> Some k
+      | None -> (
+          match parse_sized "tpch" (fun q -> Tpch q) 1 with
+          | Some (Tpch q) when q >= 1 && q <= 22 -> Some (Tpch q)
+          | Some _ | None ->
+              parse_sized "ycsb" (fun n -> Ycsb_batch n) default_ycsb_ops))
+
+type data_config = {
+  graph_scale : int;
+  edge_factor : int;
+  tpch_sf : float;
+  ycsb_records : int;
+  gups_table_words : int;
+  pagerank_iterations : int;
+  seed : int;
+}
+
+let default_data_config =
+  {
+    graph_scale = 10;
+    edge_factor = 8;
+    tpch_sf = 0.002;
+    ycsb_records = 4096;
+    gups_table_words = 1 lsl 14;
+    pagerank_iterations = 2;
+    seed = 7;
+  }
+
+type data = {
+  cfg : data_config;
+  graph : Workloads.Csr.t;
+  bfs_levels : Simmem.region;
+  pr_ranks : Simmem.region;
+  pr_next : Simmem.region;
+  tpch : Olap.Tpch_data.t;
+  ycsb_table : Oltp.Storage.table;
+  txn : Oltp.Txn.t;
+  gups_table : Simmem.region;
+  alloc : elt_bytes:int -> count:int -> Simmem.region;
+}
+
+let prepare env cfg =
+  let alloc ~elt_bytes ~count =
+    env.Workloads.Exec_env.alloc_shared ~elt_bytes ~count
+  in
+  let graph =
+    Workloads.Csr.of_kronecker ~weighted:false ~alloc
+      (Workloads.Kronecker.generate ~seed:cfg.seed ~scale:cfg.graph_scale
+         ~edge_factor:cfg.edge_factor ())
+  in
+  let n = graph.Workloads.Csr.n in
+  {
+    cfg;
+    graph;
+    bfs_levels = alloc ~elt_bytes:8 ~count:n;
+    pr_ranks = alloc ~elt_bytes:8 ~count:n;
+    pr_next = alloc ~elt_bytes:8 ~count:n;
+    tpch = Olap.Tpch_data.generate ~alloc ~seed:(cfg.seed + 1) ~sf:cfg.tpch_sf ();
+    ycsb_table =
+      Oltp.Storage.create_table ~alloc ~name:"serve-usertable"
+        ~rows:cfg.ycsb_records ~payload_words:13;
+    txn = Oltp.Txn.create ~alloc ();
+    gups_table = alloc ~elt_bytes:8 ~count:cfg.gups_table_words;
+    alloc;
+  }
+
+let graph d = d.graph
+
+(* per-item factors calibrated against measured virtual service times on
+   the default datasets (charm, 32 workers, cache_scale 16): BFS ~4.6 ns
+   per edge, PageRank ~3 ns per edge update, GUPS ~130 ns per RMW, TPC-H
+   ~8 ns per stored row, YCSB ~600 ns per transaction *)
+let cost_estimate d = function
+  | Bfs -> 4.5 *. float_of_int d.graph.Workloads.Csr.m
+  | Pagerank ->
+      3.0 *. float_of_int (d.cfg.pagerank_iterations * d.graph.Workloads.Csr.m)
+  | Gups n -> 130.0 *. float_of_int n
+  | Tpch q ->
+      let rows = float_of_int (Olap.Tpch_data.total_rows d.tpch) in
+      if List.mem q Olap.Tpch_queries.join_heavy then 12.0 *. rows else 8.0 *. rows
+  | Ycsb_batch n -> 600.0 *. float_of_int n
+
+(* a BFS source must have outgoing edges or the job degenerates to nothing *)
+let pick_source d rng =
+  let g = d.graph in
+  let n = g.Workloads.Csr.n in
+  let rec try_random attempts =
+    if attempts = 0 then
+      (* fall back to the first non-isolated vertex *)
+      let rec scan v =
+        if v >= n - 1 || Workloads.Csr.degree g v > 0 then min v (n - 1)
+        else scan (v + 1)
+      in
+      scan 0
+    else
+      let v = Engine.Rng.int rng n in
+      if Workloads.Csr.degree g v > 0 then v else try_random (attempts - 1)
+  in
+  try_random 32
+
+let run_gups ctx d rng updates =
+  if updates <= 0 then invalid_arg "Job.run: gups updates <= 0";
+  let words = d.cfg.gups_table_words in
+  for i = 0 to updates - 1 do
+    let idx = Engine.Rng.int rng words in
+    Sched.Ctx.read ctx d.gups_table idx;
+    Sched.Ctx.write ctx d.gups_table idx;
+    Sched.Ctx.work ctx 2.0;
+    if i land 63 = 63 then Sched.Ctx.maybe_yield ctx
+  done;
+  updates
+
+(* the paper-mix transaction stream (45 read / 55 rmw) from Ycsb.run,
+   reduced to a batch that runs inside one serving task *)
+let run_ycsb ctx d rng ops =
+  if ops <= 0 then invalid_arg "Job.run: ycsb batch <= 0";
+  let records = d.cfg.ycsb_records in
+  for i = 0 to ops - 1 do
+    let key = Engine.Rng.int rng records in
+    let dice = Engine.Rng.int rng 100 in
+    if dice < 45 then ignore (Oltp.Storage.read_record ctx d.ycsb_table key : int)
+    else begin
+      let v = Oltp.Storage.read_record ctx d.ycsb_table key in
+      Oltp.Storage.write_record ctx d.ycsb_table key (v + 1)
+    end;
+    Oltp.Txn.commit d.txn ctx;
+    if i land 63 = 63 then Sched.Ctx.maybe_yield ctx
+  done;
+  ops
+
+let run ctx d ~seed kind =
+  let rng = Engine.Rng.create seed in
+  match kind with
+  | Bfs ->
+      let source = pick_source d rng in
+      let _, edges = Workloads.Bfs.run_in ctx d.graph ~levels:d.bfs_levels ~source in
+      edges
+  | Pagerank ->
+      let _, updates =
+        Workloads.Pagerank.run_in ctx d.graph ~ranks:d.pr_ranks ~next:d.pr_next
+          ~iterations:d.cfg.pagerank_iterations ()
+      in
+      updates
+  | Gups n -> run_gups ctx d rng n
+  | Tpch q ->
+      let r = Olap.Tpch_queries.run ctx ~alloc:d.alloc d.tpch q in
+      max 1 r.Olap.Tpch_queries.rows_out
+  | Ycsb_batch n -> run_ycsb ctx d rng n

@@ -1,0 +1,57 @@
+(** The unit of admission: one job of a known kind over shared datasets.
+
+    Serving runs thousands of small requests against datasets that are
+    loaded once ({!prepare}) — the multi-tenant analogue of the paper's
+    one-shot workloads: BFS and PageRank reuse [lib/workloads]' in-task
+    kernels over one shared graph, TPC-H queries run against one shared
+    column store, YCSB batches hit one shared table through the OLTP
+    engine, and GUPS batches pound one shared update table. *)
+
+type kind =
+  | Bfs  (** one traversal from a per-job pseudorandom source *)
+  | Pagerank  (** a short fixed-iteration PageRank *)
+  | Gups of int  (** that many random read-modify-writes *)
+  | Tpch of int  (** one of the 22 TPC-H-shaped queries *)
+  | Ycsb_batch of int  (** that many paper-mix transactions *)
+
+val kind_name : kind -> string
+(** ["bfs"], ["pagerank"], ["gups:N"], ["tpch:Q"], ["ycsb:N"]. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name}; also accepts the bare ["pr"], ["gups"],
+    ["tpch"], ["ycsb"] with default sizes. *)
+
+type data_config = {
+  graph_scale : int;  (** log2 vertices of the shared Kronecker graph *)
+  edge_factor : int;
+  tpch_sf : float;
+  ycsb_records : int;
+  gups_table_words : int;
+  pagerank_iterations : int;
+  seed : int;  (** dataset-generation seed *)
+}
+
+val default_data_config : data_config
+(** Small datasets sized for serving experiments (scale-10 graph,
+    SF 0.002 TPC-H, 4 Ki-record YCSB table). *)
+
+type data
+
+val prepare : Workloads.Exec_env.t -> data_config -> data
+(** Allocate and populate every shared dataset through the environment's
+    shared allocator (so placement policy applies to serving data too). *)
+
+val graph : data -> Workloads.Csr.t
+
+val cost_estimate : data -> kind -> float
+(** Rough service demand (arbitrary units, consistent across kinds) used
+    as the weighted-fair-queue cost and for SLO scaling; a pure function
+    of the prepared datasets. *)
+
+val run : Engine.Sched.ctx -> data -> seed:int -> kind -> int
+(** Execute one job inside the calling task; nested parallelism fans out
+    over the machine via the scheduler.  [seed] individualises the job
+    (BFS source, GUPS/YCSB key streams).  Returns the work items done
+    (edges, updates, rows, transactions).
+    @raise Invalid_argument on [Tpch q] with [q] outside [1..22] or
+    non-positive batch sizes. *)

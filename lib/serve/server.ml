@@ -1,0 +1,394 @@
+module Sched = Engine.Sched
+module Future = Engine.Future
+module Systems = Harness.Systems
+
+type tenant_config = {
+  name : string;
+  weight : float;
+  slo_factor : float;
+  process : Arrivals.process;
+  jobs : int;
+  mix : (Job.kind * int) list;
+}
+
+type config = {
+  tenants : tenant_config list;
+  admission : Admission.config;
+  max_inflight : int;
+  seed : int;
+  data : Job.data_config;
+  trace : Engine.Trace.t option;
+}
+
+let default_config ~seed =
+  let open_loop rate = Arrivals.Open_loop { rate_per_s = rate } in
+  {
+    tenants =
+      [
+        {
+          name = "graph";
+          weight = 2.0;
+          slo_factor = 3.0;
+          process = open_loop 5000.0;
+          jobs = 40;
+          mix = [ (Job.Bfs, 2); (Job.Pagerank, 1) ];
+        };
+        {
+          name = "olap";
+          weight = 1.0;
+          slo_factor = 3.0;
+          process = open_loop 5000.0;
+          jobs = 40;
+          mix = [ (Job.Tpch 1, 1); (Job.Tpch 3, 1); (Job.Tpch 6, 1) ];
+        };
+        {
+          name = "oltp";
+          weight = 1.0;
+          slo_factor = 3.0;
+          process = open_loop 5000.0;
+          jobs = 40;
+          mix = [ (Job.Ycsb_batch 256, 2); (Job.Gups 4096, 1) ];
+        };
+      ];
+    admission = Admission.default;
+    max_inflight = 4;
+    seed;
+    data = Job.default_data_config;
+    trace = None;
+  }
+
+type tenant_report = {
+  tenant : string;
+  submitted : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  slo_ns : float;
+  slo_violations : int;
+  latency : Histogram.t;
+  queue_wait : Histogram.t;
+}
+
+type report = {
+  makespan_ns : float;
+  tenant_reports : tenant_report list;
+  registry : Metrics.t;
+  stats : Engine.Stats.report;
+}
+
+(* per-tenant mutable serving state *)
+type tenant_state = {
+  cfg_t : tenant_config;
+  idx : int;
+  mix_rng : Engine.Rng.t;  (** kind choice + per-job seeds *)
+  arrival_rng : Engine.Rng.t;
+  slo : float;
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable slo_violations : int;
+  lat_hist : Histogram.t;
+  wait_hist : Histogram.t;
+}
+
+type pending = {
+  tenant : int;
+  kind : Job.kind;
+  job_seed : int;
+  submit_ns : float;
+  done_f : float Future.t;  (** fulfilled with the completion timestamp *)
+}
+
+let pick_kind st =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 st.cfg_t.mix in
+  let r = Engine.Rng.int st.mix_rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (k, w) :: rest -> if r < acc + w then k else go (acc + w) rest
+  in
+  go 0 st.cfg_t.mix
+
+let validate cfg =
+  if cfg.tenants = [] then invalid_arg "Server.run: no tenants";
+  if cfg.max_inflight < 1 then invalid_arg "Server.run: max_inflight < 1";
+  List.iter
+    (fun t ->
+      if t.weight <= 0.0 then invalid_arg "Server.run: tenant weight <= 0";
+      if t.jobs <= 0 then invalid_arg "Server.run: tenant jobs <= 0";
+      if t.mix = [] then invalid_arg "Server.run: empty job mix";
+      if List.exists (fun (_, w) -> w <= 0) t.mix then
+        invalid_arg "Server.run: non-positive mix weight")
+    cfg.tenants
+
+let run inst cfg =
+  validate cfg;
+  let env = inst.Systems.env in
+  let sched = env.Workloads.Exec_env.sched in
+  let registry = Metrics.create () in
+  let data = Job.prepare env cfg.data in
+
+  (* tenant state, fair queue, admission *)
+  let tenants =
+    List.mapi
+      (fun idx t ->
+        let mean_cost =
+          let num, den =
+            List.fold_left
+              (fun (num, den) (k, w) ->
+                (num +. (float_of_int w *. Job.cost_estimate data k), den + w))
+              (0.0, 0) t.mix
+          in
+          num /. float_of_int den
+        in
+        {
+          cfg_t = t;
+          idx;
+          mix_rng = Engine.Rng.create ((cfg.seed * 31) + (2 * idx));
+          arrival_rng = Engine.Rng.create ((cfg.seed * 31) + (2 * idx) + 1);
+          slo = t.slo_factor *. mean_cost;
+          submitted = 0;
+          admitted = 0;
+          shed = 0;
+          completed = 0;
+          slo_violations = 0;
+          lat_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".latency_ns");
+          wait_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".queue_wait_ns");
+        })
+      cfg.tenants
+    |> Array.of_list
+  in
+  let fq = Fair_queue.create () in
+  Array.iter (fun st -> Fair_queue.add_tenant fq ~tenant:st.idx ~weight:st.cfg_t.weight) tenants;
+  let inflight = ref 0 in
+
+  (* observability hooks: count scheduler quanta (and trace, if attached)
+     around the placement policy's own hooks *)
+  let base_hooks = Sched.hooks sched in
+  let traced_hooks =
+    match cfg.trace with
+    | Some tr -> Engine.Trace.hook tr sched ~hooks:base_hooks
+    | None -> base_hooks
+  in
+  Sched.set_hooks sched
+    {
+      traced_hooks with
+      Sched.on_quantum_end =
+        (fun s w ->
+          Metrics.incr registry "sched.quanta";
+          traced_hooks.Sched.on_quantum_end s w);
+    };
+
+  (* dispatcher: drain the fair queue into at most [max_inflight]
+     concurrently running jobs, each a future-dispatched scheduler task *)
+  let rec pump ctx =
+    if !inflight < cfg.max_inflight then
+      match Fair_queue.pop fq with
+      | None -> ()
+      | Some (tidx, p) ->
+          let st = tenants.(tidx) in
+          incr inflight;
+          Metrics.set_gauge registry "serve.inflight" (float_of_int !inflight);
+          (* a job cannot start before it arrived: clamp the dispatch time
+             so a thief worker with a lagging clock cannot run it "in the
+             past" and produce negative latencies *)
+          let start_at = Float.max (Sched.Ctx.now ctx) p.submit_ns in
+          Histogram.observe st.wait_hist (start_at -. p.submit_ns);
+          ignore
+            (Future.spawn_at ctx ~at:start_at (fun ctx' ->
+                 let items = Job.run ctx' data ~seed:p.job_seed p.kind in
+                 complete ctx' st p items)
+              : unit Future.t);
+          pump ctx
+  and complete ctx st p items =
+    let fin = Sched.Ctx.now ctx in
+    let latency = fin -. p.submit_ns in
+    decr inflight;
+    st.completed <- st.completed + 1;
+    Histogram.observe st.lat_hist latency;
+    Metrics.observe registry "serve.latency_ns" latency;
+    Metrics.incr registry "serve.completed";
+    Metrics.incr registry ~by:items "serve.work_items";
+    Metrics.incr registry ("serve.jobs." ^ Job.kind_name p.kind);
+    if latency > st.slo then begin
+      st.slo_violations <- st.slo_violations + 1;
+      Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".slo_violations")
+    end;
+    Future.fulfill ctx p.done_f fin;
+    pump ctx
+  in
+
+  (* [arrival] is the job's nominal arrival instant: the Poisson timestamp
+     for open-loop tenants (latency is measured from offered arrival, even
+     if the acceptor task processed it late), the client's clock for
+     closed-loop ones *)
+  let submit ctx st ~arrival kind =
+    let now = arrival in
+    st.submitted <- st.submitted + 1;
+    Metrics.incr registry "serve.submitted";
+    let decision =
+      Admission.decide cfg.admission
+        ~tenant_depth:(Fair_queue.tenant_depth fq ~tenant:st.idx)
+        ~global_depth:(Fair_queue.length fq)
+    in
+    match decision with
+    | Admission.Admit ->
+        st.admitted <- st.admitted + 1;
+        Metrics.incr registry "serve.admitted";
+        let p =
+          {
+            tenant = st.idx;
+            kind;
+            job_seed = Engine.Rng.int st.mix_rng 0x3FFFFFFF;
+            submit_ns = now;
+            done_f = Future.create ();
+          }
+        in
+        Fair_queue.push fq ~tenant:st.idx ~cost:(Job.cost_estimate data kind) p;
+        Metrics.set_gauge registry "serve.queue_depth"
+          (float_of_int (Fair_queue.length fq));
+        pump ctx;
+        p.done_f
+    | (Admission.Shed_tenant_full | Admission.Shed_server_full) as d ->
+        st.shed <- st.shed + 1;
+        Metrics.incr registry "serve.shed";
+        Metrics.incr registry ("serve.shed." ^ Admission.decision_name d);
+        Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".shed");
+        (* back-pressure signal: the caller's future resolves immediately,
+           so closed-loop clients retry after their think time *)
+        let f = Future.create () in
+        Future.fulfill ctx f now;
+        f
+  in
+
+  (* drive: one source per tenant, spawned from the main task *)
+  let makespan =
+    env.Workloads.Exec_env.run (fun ctx ->
+        Array.iter
+          (fun st ->
+            match st.cfg_t.process with
+            | Arrivals.Open_loop { rate_per_s } ->
+                let times =
+                  Arrivals.poisson_times ~rng:st.arrival_rng ~rate_per_s
+                    ~jobs:st.cfg_t.jobs
+                in
+                let n = Array.length times in
+                (* chain the source: each arrival schedules the next, so at
+                   most one future-ready task per tenant exists at a time.
+                   Spawning the whole schedule upfront lets idle thieves
+                   steal far-future arrivals, drag their clocks forward,
+                   and later finish stolen job fragments "in the future" —
+                   inflating every measured latency *)
+                let rec arrive k ctx' =
+                  if k + 1 < n then
+                    ignore
+                      (Sched.Ctx.spawn ctx' ~at:times.(k + 1) (arrive (k + 1))
+                        : Sched.task);
+                  let kind = pick_kind st in
+                  ignore (submit ctx' st ~arrival:times.(k) kind : float Future.t)
+                in
+                if n > 0 then
+                  ignore (Sched.Ctx.spawn ctx ~at:times.(0) (arrive 0) : Sched.task)
+            | Arrivals.Closed_loop { clients; think_ns } ->
+                let clients = max 1 clients in
+                for c = 0 to clients - 1 do
+                  let quota =
+                    (st.cfg_t.jobs / clients)
+                    + (if c < st.cfg_t.jobs mod clients then 1 else 0)
+                  in
+                  if quota > 0 then
+                    ignore
+                      (Sched.Ctx.spawn ctx (fun ctx' ->
+                           for _ = 1 to quota do
+                             let kind = pick_kind st in
+                             let f = submit ctx' st ~arrival:(Sched.Ctx.now ctx') kind in
+                             ignore (Future.await ctx' f : float);
+                             if think_ns > 0.0 then Sched.Ctx.work ctx' think_ns
+                           done)
+                        : Sched.task)
+                done)
+          tenants)
+  in
+  Sched.set_hooks sched base_hooks;
+
+  (* flow end-of-run profiler / trace / machine statistics into the registry *)
+  (match inst.Systems.charm with
+  | Some rt ->
+      let prof = Charm.Runtime.profiler rt in
+      for w = 0 to Charm.Runtime.n_workers rt - 1 do
+        let s = Charm.Profiler.cumulative prof ~worker:w in
+        Metrics.incr registry ~by:s.Charm.Profiler.local_hits "profiler.local_hits";
+        Metrics.incr registry ~by:s.Charm.Profiler.remote_chiplet "profiler.remote_chiplet";
+        Metrics.incr registry ~by:s.Charm.Profiler.remote_numa "profiler.remote_numa";
+        Metrics.incr registry ~by:s.Charm.Profiler.dram "profiler.dram"
+      done
+  | None -> ());
+  (match cfg.trace with
+  | Some tr -> Metrics.set_gauge registry "trace.events" (float_of_int (Engine.Trace.num_events tr))
+  | None -> ());
+  let stats = Systems.report inst in
+  let acc = stats.Engine.Stats.accesses in
+  Metrics.incr registry ~by:acc.Engine.Stats.local_chiplet "fills.local_chiplet";
+  Metrics.incr registry ~by:acc.Engine.Stats.remote_chiplet "fills.remote_chiplet";
+  Metrics.incr registry ~by:acc.Engine.Stats.remote_numa "fills.remote_numa";
+  Metrics.incr registry ~by:acc.Engine.Stats.dram "fills.dram";
+  Metrics.set_gauge registry "serve.makespan_ns" makespan;
+
+  let tenant_reports =
+    Array.to_list tenants
+    |> List.map (fun st ->
+           {
+             tenant = st.cfg_t.name;
+             submitted = st.submitted;
+             admitted = st.admitted;
+             shed = st.shed;
+             completed = st.completed;
+             slo_ns = st.slo;
+             slo_violations = st.slo_violations;
+             latency = st.lat_hist;
+             queue_wait = st.wait_hist;
+           })
+  in
+  { makespan_ns = makespan; tenant_reports; registry; stats }
+
+let report_to_json r =
+  let obj fields =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ Metrics.json_escape k ^ "\":" ^ v) fields)
+    ^ "}"
+  in
+  let f = Metrics.json_of_float in
+  let acc = r.stats.Engine.Stats.accesses in
+  let fills =
+    obj
+      [
+        ("l2_hits", string_of_int acc.Engine.Stats.l2_hits);
+        ("local_chiplet", string_of_int acc.Engine.Stats.local_chiplet);
+        ("remote_chiplet", string_of_int acc.Engine.Stats.remote_chiplet);
+        ("remote_numa", string_of_int acc.Engine.Stats.remote_numa);
+        ("dram", string_of_int acc.Engine.Stats.dram);
+      ]
+  in
+  let tenant (tr : tenant_report) =
+    obj
+      [
+        ("name", "\"" ^ Metrics.json_escape tr.tenant ^ "\"");
+        ("submitted", string_of_int tr.submitted);
+        ("admitted", string_of_int tr.admitted);
+        ("shed", string_of_int tr.shed);
+        ("completed", string_of_int tr.completed);
+        ("slo_ns", f tr.slo_ns);
+        ("slo_violations", string_of_int tr.slo_violations);
+        ("latency_ns", Metrics.json_of_histogram tr.latency);
+        ("queue_wait_ns", Metrics.json_of_histogram tr.queue_wait);
+      ]
+  in
+  obj
+    [
+      ("makespan_ns", f r.makespan_ns);
+      ("fills", fills);
+      ( "tenants",
+        "[" ^ String.concat "," (List.map tenant r.tenant_reports) ^ "]" );
+      ("metrics", Metrics.to_json r.registry);
+    ]

@@ -1,0 +1,73 @@
+(** The online serving loop: turn a {!Harness.Systems} instance into a
+    multi-tenant job server.
+
+    Per tenant, an arrival process ({!Arrivals}) submits jobs of a
+    configured kind mix; an admission controller ({!Admission}) sheds
+    arrivals beyond the queue bounds; admitted jobs wait in a weighted
+    fair queue ({!Fair_queue}) until one of [max_inflight] service slots
+    frees, then run as scheduler tasks dispatched through
+    {!Engine.Future} — so many jobs overlap on the simulated machine and
+    the placement policy under test (CHARM or a baseline) decides where
+    their cache traffic lands.  Everything is driven by virtual time and
+    seeded RNG streams: equal configurations give byte-identical reports.
+
+    Observability: per-tenant latency/queue-wait histograms, SLO-violation
+    and shed counters, and a {!Metrics} registry fed by the serving loop,
+    by a scheduler-hook wrapper (quantum counts — installed around the
+    policy's own hooks via {!Engine.Sched.hooks}), by {!Core.Profiler}
+    fill counters when serving under CHARM, and by {!Engine.Trace} when a
+    trace sink is attached. *)
+
+type tenant_config = {
+  name : string;
+  weight : float;  (** fair-queue share *)
+  slo_factor : float;
+      (** SLO threshold as a multiple of the tenant's mean job cost
+          estimate turned into ns (see {!Job.cost_estimate}); violations
+          are counted per completed job *)
+  process : Arrivals.process;
+  jobs : int;  (** total jobs this tenant submits *)
+  mix : (Job.kind * int) list;  (** kinds with relative weights *)
+}
+
+type config = {
+  tenants : tenant_config list;
+  admission : Admission.config;
+  max_inflight : int;  (** concurrent jobs in service *)
+  seed : int;
+  data : Job.data_config;
+  trace : Engine.Trace.t option;
+      (** when present, wired into the scheduler hooks for the run *)
+}
+
+val default_config : seed:int -> config
+(** Three open-loop tenants (graph / OLAP / OLTP+GUPS mixes) with weights
+    2:1:1 at 5000 jobs/s each, 40 jobs per tenant. *)
+
+type tenant_report = {
+  tenant : string;
+  submitted : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  slo_ns : float;
+  slo_violations : int;
+  latency : Histogram.t;  (** sojourn time: completion - arrival, ns *)
+  queue_wait : Histogram.t;  (** dispatch - arrival, ns *)
+}
+
+type report = {
+  makespan_ns : float;
+  tenant_reports : tenant_report list;  (** in configuration order *)
+  registry : Metrics.t;
+  stats : Engine.Stats.report;  (** machine-level fills, migrations, ... *)
+}
+
+val run : Harness.Systems.instance -> config -> report
+(** Run the full serving experiment on a fresh instance.
+    @raise Invalid_argument on an empty tenant list, an empty mix,
+    [max_inflight < 1], or non-positive weights/jobs. *)
+
+val report_to_json : report -> string
+(** Deterministic JSON: run summary, per-tenant percentiles and SLO/shed
+    counts, fill-location breakdown, and the full metrics registry. *)

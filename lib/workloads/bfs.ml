@@ -18,46 +18,54 @@ let reference g ~source =
   done;
   level
 
-let run env g ~source =
+(* The level-synchronous traversal itself, runnable from inside any task:
+   the serving layer dispatches this as one job among many concurrent ones,
+   while [run] below wraps it as a whole-machine main task. *)
+let run_in ctx g ~levels ~source =
   let n = g.Csr.n in
-  let sim_level = env.Exec_env.alloc_shared ~elt_bytes:8 ~count:n in
   let level = Array.make n (-1) in
   let edges = ref 0 in
+  level.(source) <- 0;
+  Sched.Ctx.write ctx levels source;
+  let frontier = ref [| source |] in
+  let depth = ref 0 in
+  while Array.length !frontier > 0 do
+    let fr = !frontier in
+    let next_level = !depth + 1 in
+    let workers = Sched.n_workers (Sched.Ctx.sched ctx) in
+    let grain = max 16 (Array.length fr / (4 * workers)) in
+    (* per-chunk discovered vertices, merged after the barrier *)
+    let buffers = ref [] in
+    Engine.Par.parallel_for ctx ~lo:0 ~hi:(Array.length fr) ~grain
+      (fun ctx' lo hi ->
+        let local = ref [] in
+        let local_edges = ref 0 in
+        for i = lo to hi - 1 do
+          let u = fr.(i) in
+          Csr.read_adj ctx' g u;
+          Csr.out_neighbors g u (fun v _w ->
+              incr local_edges;
+              Sched.Ctx.read ctx' levels v;
+              if level.(v) = -1 then begin
+                level.(v) <- next_level;
+                Sched.Ctx.write ctx' levels v;
+                local := v :: !local
+              end);
+          Sched.Ctx.maybe_yield ctx'
+        done;
+        Sched.Ctx.work ctx' (compute_ns_per_edge *. float_of_int !local_edges);
+        edges := !edges + !local_edges;
+        buffers := !local :: !buffers);
+    frontier := Array.of_list (List.concat !buffers);
+    incr depth
+  done;
+  (level, !edges)
+
+let run env g ~source =
+  let sim_level = env.Exec_env.alloc_shared ~elt_bytes:8 ~count:g.Csr.n in
+  let out = ref ([||], 0) in
   let makespan =
-    env.Exec_env.run (fun ctx ->
-        level.(source) <- 0;
-        Sched.Ctx.write ctx sim_level source;
-        let frontier = ref [| source |] in
-        let depth = ref 0 in
-        while Array.length !frontier > 0 do
-          let fr = !frontier in
-          let next_level = !depth + 1 in
-          let workers = Sched.n_workers (Sched.Ctx.sched ctx) in
-          let grain = max 16 (Array.length fr / (4 * workers)) in
-          (* per-chunk discovered vertices, merged after the barrier *)
-          let buffers = ref [] in
-          Engine.Par.parallel_for ctx ~lo:0 ~hi:(Array.length fr) ~grain
-            (fun ctx' lo hi ->
-              let local = ref [] in
-              let local_edges = ref 0 in
-              for i = lo to hi - 1 do
-                let u = fr.(i) in
-                Csr.read_adj ctx' g u;
-                Csr.out_neighbors g u (fun v _w ->
-                    incr local_edges;
-                    Sched.Ctx.read ctx' sim_level v;
-                    if level.(v) = -1 then begin
-                      level.(v) <- next_level;
-                      Sched.Ctx.write ctx' sim_level v;
-                      local := v :: !local
-                    end);
-                Sched.Ctx.maybe_yield ctx'
-              done;
-              Sched.Ctx.work ctx' (compute_ns_per_edge *. float_of_int !local_edges);
-              edges := !edges + !local_edges;
-              buffers := !local :: !buffers);
-          frontier := Array.of_list (List.concat !buffers);
-          incr depth
-        done)
+    env.Exec_env.run (fun ctx -> out := run_in ctx g ~levels:sim_level ~source)
   in
-  (level, Workload_result.v ~label:"bfs" ~makespan_ns:makespan ~work_items:!edges)
+  let level, edges = !out in
+  (level, Workload_result.v ~label:"bfs" ~makespan_ns:makespan ~work_items:edges)

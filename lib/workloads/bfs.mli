@@ -7,5 +7,12 @@ val run :
 (** Returns the level of every vertex (-1 if unreached) and the result;
     [work_items] counts traversed edges. *)
 
+val run_in :
+  Engine.Sched.ctx -> Csr.t -> levels:Chipsim.Simmem.region -> source:int ->
+  int array * int
+(** The same traversal from inside an existing task (one job of a serving
+    mix): [levels] is the simulated shadow of the level vector; returns
+    the levels and the number of traversed edges. *)
+
 val reference : Csr.t -> source:int -> int array
 (** Sequential reference implementation (for correctness tests). *)

@@ -11,4 +11,12 @@ val run :
 (** Returns final ranks; [work_items] counts edge updates
     (edges x iterations). *)
 
+val run_in :
+  Engine.Sched.ctx -> Csr.t ->
+  ranks:Chipsim.Simmem.region -> next:Chipsim.Simmem.region ->
+  ?iterations:int -> ?damping:float -> unit -> float array * int
+(** The same computation from inside an existing task (one job of a
+    serving mix); [ranks]/[next] are the simulated shadows of the rank
+    vectors.  Returns final ranks and the number of edge updates. *)
+
 val reference : Csr.t -> ?iterations:int -> ?damping:float -> unit -> float array

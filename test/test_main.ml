@@ -30,4 +30,5 @@ let () =
       ("exec", Test_exec.suite);
       ("olap", Test_olap.suite);
       ("oltp", Test_oltp.suite);
+      ("serve", Test_serve.suite);
     ]

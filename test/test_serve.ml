@@ -1,0 +1,209 @@
+(* Serving layer: arrivals, histogram quantiles, admission bounds,
+   weighted fair queueing, and end-to-end server determinism. *)
+
+module Arrivals = Serving.Arrivals
+module Histogram = Serving.Histogram
+module Admission = Serving.Admission
+module Fair_queue = Serving.Fair_queue
+module Metrics = Serving.Metrics
+module Server = Serving.Server
+module Sys_ = Harness.Systems
+
+(* -- arrivals ---------------------------------------------------------- *)
+
+let test_poisson_deterministic () =
+  let times seed =
+    Arrivals.poisson_times ~rng:(Engine.Rng.create seed) ~rate_per_s:1000.0
+      ~jobs:50
+  in
+  Alcotest.(check bool) "same seed, same trace" true (times 7 = times 7);
+  Alcotest.(check bool) "different seed, different trace" true (times 7 <> times 8)
+
+let test_poisson_shape () =
+  let times =
+    Arrivals.poisson_times ~rng:(Engine.Rng.create 3) ~rate_per_s:1000.0
+      ~jobs:2000
+  in
+  Alcotest.(check int) "count" 2000 (Array.length times);
+  Array.iteri
+    (fun i t ->
+      if i > 0 then
+        Alcotest.(check bool) "strictly increasing" true (t > times.(i - 1)))
+    times;
+  (* mean gap of a 1000/s process is 1e6 ns; the 2000-sample average must
+     land well within 10% *)
+  let mean_gap = times.(Array.length times - 1) /. 2000.0 in
+  Alcotest.(check bool) "mean gap near 1/rate" true
+    (mean_gap > 0.9e6 && mean_gap < 1.1e6)
+
+(* -- histogram --------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check (float 0.001)) "sum" 5050.0 (Histogram.sum h);
+  Alcotest.(check (float 0.001)) "max" 100.0 (Histogram.max_value h);
+  (* bucket growth is 12%, so quantiles carry <= 12% relative error *)
+  let near q expect =
+    let v = Histogram.quantile h q in
+    Alcotest.(check bool)
+      (Printf.sprintf "q%.2f=%g near %g" q v expect)
+      true
+      (v >= expect && v <= expect *. 1.13)
+  in
+  near 0.5 50.0;
+  near 0.95 95.0;
+  near 0.99 99.0;
+  Alcotest.(check bool) "q1 clamped to max" true (Histogram.quantile h 1.0 <= 100.0)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for v = 1 to 50 do
+    Histogram.observe a (float_of_int v)
+  done;
+  for v = 51 to 100 do
+    Histogram.observe b (float_of_int v)
+  done;
+  Histogram.merge a b;
+  Alcotest.(check int) "merged count" 100 (Histogram.count a);
+  Alcotest.(check (float 0.001)) "merged max" 100.0 (Histogram.max_value a);
+  Alcotest.check_raises "parameter mismatch"
+    (Invalid_argument "Histogram.merge: incompatible bucket parameters")
+    (fun () -> Histogram.merge a (Histogram.create ~growth:2.0 ()))
+
+(* -- admission --------------------------------------------------------- *)
+
+let test_admission_bounds () =
+  let cfg = { Admission.max_queue_per_tenant = 4; max_global_queue = 6 } in
+  Alcotest.(check bool) "under both bounds" true
+    (Admission.decide cfg ~tenant_depth:3 ~global_depth:3 = Admission.Admit);
+  Alcotest.(check bool) "tenant full" true
+    (Admission.decide cfg ~tenant_depth:4 ~global_depth:4
+    = Admission.Shed_tenant_full);
+  Alcotest.(check bool) "server full" true
+    (Admission.decide cfg ~tenant_depth:2 ~global_depth:6
+    = Admission.Shed_server_full);
+  (* the tenant bound shields the global one *)
+  Alcotest.(check bool) "tenant checked first" true
+    (Admission.decide cfg ~tenant_depth:4 ~global_depth:6
+    = Admission.Shed_tenant_full)
+
+let test_server_sheds_at_bound () =
+  (* one tenant allowed 2 queued jobs, swamped by an instantaneous burst:
+     everything past [max_inflight + bound] must be shed, and
+     admitted - completed must balance *)
+  let inst = Sys_.make ~cache_scale:16 Sys_.Charm Sys_.Amd_milan ~n_workers:8 () in
+  let base = Server.default_config ~seed:5 in
+  let tenant =
+    {
+      Server.name = "burst";
+      weight = 1.0;
+      slo_factor = 3.0;
+      process = Arrivals.Open_loop { rate_per_s = 1e9 };
+      jobs = 30;
+      mix = [ (Serving.Job.Gups 512, 1) ];
+    }
+  in
+  let cfg =
+    {
+      base with
+      Server.tenants = [ tenant ];
+      admission = { Admission.max_queue_per_tenant = 2; max_global_queue = 64 };
+      max_inflight = 1;
+    }
+  in
+  let r = Server.run inst cfg in
+  let tr = List.hd r.Server.tenant_reports in
+  Alcotest.(check int) "submitted" 30 tr.Server.submitted;
+  Alcotest.(check bool) "shed something" true (tr.Server.shed > 0);
+  Alcotest.(check int) "admitted + shed = submitted" 30
+    (tr.Server.admitted + tr.Server.shed);
+  Alcotest.(check int) "admitted all complete" tr.Server.admitted
+    tr.Server.completed;
+  Alcotest.(check int) "shed counter in registry" tr.Server.shed
+    (Metrics.counter_value r.Server.registry "serve.shed")
+
+(* -- fair queue -------------------------------------------------------- *)
+
+let test_fair_queue_weights () =
+  (* equal per-job cost, weights 2:1 - over any long prefix the weight-2
+     tenant must be served about twice as often *)
+  let fq = Fair_queue.create () in
+  Fair_queue.add_tenant fq ~tenant:0 ~weight:2.0;
+  Fair_queue.add_tenant fq ~tenant:1 ~weight:1.0;
+  for i = 0 to 29 do
+    Fair_queue.push fq ~tenant:0 ~cost:100.0 i;
+    Fair_queue.push fq ~tenant:1 ~cost:100.0 i
+  done;
+  let served = [| 0; 0 |] in
+  for _ = 1 to 18 do
+    match Fair_queue.pop fq with
+    | Some (t, _) -> served.(t) <- served.(t) + 1
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  Alcotest.(check int) "weight-2 tenant got 2/3 of service" 12 served.(0);
+  Alcotest.(check int) "weight-1 tenant got 1/3 of service" 6 served.(1)
+
+let test_fair_queue_fifo_within_tenant () =
+  let fq = Fair_queue.create () in
+  Fair_queue.add_tenant fq ~tenant:0 ~weight:1.0;
+  List.iter (fun i -> Fair_queue.push fq ~tenant:0 ~cost:50.0 i) [ 1; 2; 3 ];
+  let order = List.init 3 (fun _ -> Option.get (Fair_queue.pop fq) |> snd) in
+  Alcotest.(check (list int)) "FIFO per tenant" [ 1; 2; 3 ] order;
+  Alcotest.(check (option (pair int int))) "empty" None (Fair_queue.pop fq)
+
+(* -- metrics ----------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "a.count";
+  Metrics.incr m ~by:4 "a.count";
+  Metrics.set_gauge m "b.gauge" 2.5;
+  Metrics.observe m "c.hist" 10.0;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value m "a.count");
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value m "b.gauge");
+  Alcotest.(check int) "histogram" 1 (Histogram.count (Metrics.histogram m "c.hist"));
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let json = Metrics.to_json m in
+  Alcotest.(check bool) "counters in json" true (contains json "\"a.count\":5");
+  Alcotest.(check bool) "gauges in json" true (contains json "\"b.gauge\":2.5")
+
+(* -- end-to-end determinism -------------------------------------------- *)
+
+let run_default seed =
+  let inst = Sys_.make ~cache_scale:16 Sys_.Charm Sys_.Amd_milan ~n_workers:16 () in
+  let base = Server.default_config ~seed in
+  let cfg =
+    {
+      base with
+      Server.tenants =
+        List.map (fun t -> { t with Server.jobs = 10 }) base.Server.tenants;
+    }
+  in
+  Server.report_to_json (Server.run inst cfg)
+
+let test_server_deterministic () =
+  let a = run_default 42 and b = run_default 42 and c = run_default 43 in
+  Alcotest.(check string) "same seed, identical report" a b;
+  Alcotest.(check bool) "different seed, different report" true (a <> c)
+
+let suite =
+  [
+    Alcotest.test_case "poisson deterministic" `Quick test_poisson_deterministic;
+    Alcotest.test_case "poisson shape" `Quick test_poisson_shape;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "admission bounds" `Quick test_admission_bounds;
+    Alcotest.test_case "server sheds at bound" `Quick test_server_sheds_at_bound;
+    Alcotest.test_case "fair queue weights" `Quick test_fair_queue_weights;
+    Alcotest.test_case "fair queue fifo" `Quick test_fair_queue_fifo_within_tenant;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "server deterministic" `Quick test_server_deterministic;
+  ]
