@@ -11,6 +11,7 @@ let run_with_config config bench ~workers =
     Sys_.make ~cache_scale:Util.default_cache_scale ~charm_config:config
       Sys_.Charm Sys_.Amd_milan ~n_workers:workers ()
   in
+  Util.attach_trace inst;
   let env = inst.Sys_.env in
   let open Workloads in
   let result =
@@ -76,6 +77,7 @@ let phased_scan config =
       ~charm_config:config Harness.Systems.Charm Harness.Systems.Amd_milan
       ~n_workers:8 ()
   in
+  Util.attach_trace inst;
   let env = inst.Harness.Systems.env in
   let module Sched = Engine.Sched in
   let small_words = 1 lsl 12 and big_words = 1 lsl 18 in

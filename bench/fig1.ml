@@ -21,6 +21,7 @@ let sgd_speedup () =
      (kernel threads, coarse per-core tasks, NUMA-node replicas) *)
   let run sys ~grain =
     let inst = Sys_.make ~cache_scale:16 sys Sys_.Amd_milan ~n_workers:64 () in
+    Util.attach_trace inst;
     let env = inst.Sys_.env in
     let data =
       Dataset.generate
@@ -47,6 +48,7 @@ let streamcluster_speedup () =
   in
   let time sys =
     let inst = Sys_.make ~cache_scale:128 sys Sys_.Amd_milan ~n_workers:16 () in
+    Util.attach_trace inst;
     (Streamcluster.run inst.Sys_.env params).Streamcluster.result
       .Workload_result.makespan_ns
   in

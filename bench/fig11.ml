@@ -32,6 +32,7 @@ let core_counts = [ 8; 16; 32; 64; 128 ]
 
 let run_config config ~workers =
   let inst = Sys_.make ~cache_scale config.sys Sys_.Amd_milan ~n_workers:workers () in
+  Util.attach_trace inst;
   let env = inst.Sys_.env in
   let data =
     Dataset.generate

@@ -11,6 +11,7 @@ let workers = 32
 
 let observe sys =
   let inst = Sys_.make ~cache_scale:16 sys Sys_.Amd_milan ~n_workers:workers () in
+  Util.attach_trace inst;
   let env = inst.Sys_.env in
   let data =
     Dataset.generate

@@ -24,6 +24,7 @@ let run () =
      Each query is run once cold, then measured warm (the paper averages
      10 repetitions). *)
   let base_inst = Sys_.make ~cache_scale Sys_.Os_default Sys_.Amd_milan ~n_workers:workers () in
+  Util.attach_trace base_inst;
   let base_env = base_inst.Sys_.env in
   let base_data = dataset base_env in
   (* short-lived OLAP tasks: CHARM's profiling interval is configurable
@@ -39,6 +40,7 @@ let run () =
     Sys_.make ~cache_scale ~charm_config Sys_.Charm Sys_.Amd_milan
       ~n_workers:workers ()
   in
+  Util.attach_trace charm_inst;
   let charm_env = charm_inst.Sys_.env in
   let charm_data = dataset charm_env in
   let total_base = ref 0.0 and total_charm = ref 0.0 in

@@ -9,7 +9,9 @@ let cache_scale = 32
 let core_counts = [ 8; 16; 32; 64 ]
 
 let env sys ~workers =
-  (Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers:workers ()).Sys_.env
+  let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers:workers () in
+  Util.attach_trace inst;
+  inst.Sys_.env
 
 let run () =
   Util.section "Fig. 14 - OLTP commits/s: LocalCache vs DistributedCache";

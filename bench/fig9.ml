@@ -19,6 +19,7 @@ let params =
 
 let time sys ~workers =
   let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers:workers () in
+  Util.attach_trace inst;
   let o = Workloads.Streamcluster.run inst.Sys_.env params in
   o.Workloads.Streamcluster.result.Workloads.Workload_result.makespan_ns
 
@@ -45,6 +46,7 @@ let run_tab2 () =
     (fun workers ->
       let counts sys =
         let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers:workers () in
+        Util.attach_trace inst;
         ignore (Workloads.Streamcluster.run inst.Sys_.env params);
         let r = Harness.Systems.report inst in
         ( r.Engine.Stats.accesses.Engine.Stats.local_chiplet,

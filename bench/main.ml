@@ -25,11 +25,20 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  (* [--trace FILE] attaches one shared trace sink to every instance the
+     requested experiments build and writes the Chrome-trace JSON at the
+     end; remaining arguments select experiments *)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_trace acc = function
+    | "--trace" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_trace (a :: acc) rest
+    | [] -> (None, List.rev acc)
   in
+  let trace_file, names = split_trace [] args in
+  (match trace_file with
+  | Some _ -> Util.trace_sink := Some (Engine.Trace.create ())
+  | None -> ());
+  let requested = match names with [] -> List.map fst experiments | _ -> names in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
@@ -43,5 +52,11 @@ let () =
             (String.concat " " (List.map fst experiments));
           exit 1)
     requested;
+  (match (trace_file, !Util.trace_sink) with
+  | Some file, Some tr ->
+      Engine.Trace.save tr file;
+      Printf.printf "\nwrote %d trace events to %s\n%s"
+        (Engine.Trace.num_events tr) file (Engine.Trace.summary tr)
+  | _ -> ());
   Printf.printf "\nAll requested experiments finished in %.1fs.\n"
     (Unix.gettimeofday () -. t0)

@@ -45,7 +45,9 @@ let sum f r =
 
 let run_one sys ~rate =
   let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers () in
-  Server.run inst (config ~rate)
+  (* the driver's --trace sink, if set, rides in on the server config so
+     job lifecycle and counter events are captured too *)
+  Server.run inst { (config ~rate) with Server.trace = !Util.trace_sink }
 
 let run () =
   Util.section "Serve - tail latency vs offered load (3 tenants, worst tenant)";

@@ -4,6 +4,22 @@
 open Workloads
 module Sys_ = Harness.Systems
 
+(* Optional trace sink shared by every instance a figure builds: set by the
+   driver's [--trace FILE] flag, attached by {!run_graph_bench} (and any
+   figure that calls {!attach_trace} on its own instances), written once at
+   the end of the run.  All experiments append to one ring, so the file
+   holds the newest window across the whole bench invocation. *)
+let trace_sink : Engine.Trace.t option ref = ref None
+
+let attach_trace inst =
+  match !trace_sink with
+  | None -> ()
+  | Some tr -> (
+      match inst.Sys_.charm with
+      | Some rt -> Charm.Runtime.attach_trace rt tr
+      | None ->
+          Engine.Sched.set_trace inst.Sys_.env.Exec_env.sched (Some tr))
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -56,6 +72,7 @@ let pick_source g =
 let run_graph_bench ?(cache_scale = default_cache_scale)
     ?(graph_scale = default_graph_scale) ~sys ~kind ~workers bench =
   let inst = Sys_.make ~cache_scale sys kind ~n_workers:workers () in
+  attach_trace inst;
   let env = inst.Sys_.env in
   let result =
     match bench with

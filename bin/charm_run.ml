@@ -107,13 +107,31 @@ let run_workload env inst ~workload ~graph_scale ~query ~seed =
   let report = Sys_.report inst in
   Format.printf "---@.%a@." Engine.Stats.pp report
 
-let main sys machine workers cache_scale workload graph_scale query seed =
+let main sys machine workers cache_scale workload graph_scale query seed trace_file =
   let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+  let trace =
+    match trace_file with
+    | None -> None
+    | Some _ ->
+        let tr = Engine.Trace.create () in
+        (* CHARM wires every layer; baselines still get the scheduler's
+           quantum / steal / park / migration timeline *)
+        (match inst.Sys_.charm with
+        | Some rt -> Charm.Runtime.attach_trace rt tr
+        | None -> Engine.Sched.set_trace inst.Sys_.env.Workloads.Exec_env.sched (Some tr));
+        Some tr
+  in
   Printf.printf "system=%s machine=[%s] workers=%d cache-scale=%d\n"
     (Sys_.sys_name sys)
     (Format.asprintf "%a" Chipsim.Topology.pp (Chipsim.Machine.topology inst.Sys_.machine))
     workers cache_scale;
-  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed
+  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed;
+  match (trace, trace_file) with
+  | Some tr, Some file ->
+      Engine.Trace.save tr file;
+      Printf.eprintf "wrote %d trace events to %s (load in chrome://tracing)\n%s"
+        (Engine.Trace.num_events tr) file (Engine.Trace.summary tr)
+  | _ -> ()
 
 let sys_arg =
   Arg.(value & opt (enum systems) Sys_.Charm & info [ "s"; "system" ] ~doc:"Runtime system.")
@@ -146,12 +164,22 @@ let seed_arg =
     & info [ "seed" ]
         ~doc:"Seed for all input generators (graph, tables, access streams).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run (task quanta, steals, \
+           parks, migrations, policy decisions) to $(docv); a text summary \
+           goes to stderr.")
+
 let cmd =
   let doc = "run a workload on the simulated chiplet machine under a runtime system" in
   Cmd.v
     (Cmd.info "charm_run" ~doc)
     Term.(
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
-      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg)
+      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

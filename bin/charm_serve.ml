@@ -61,7 +61,7 @@ let default_mixes =
   ]
 
 let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
-    slo_factor closed_loop think_us tenant_specs graph_scale =
+    slo_factor closed_loop think_us tenant_specs graph_scale trace_file =
   if closed_loop = None && rate <= 0.0 then begin
     Printf.eprintf "charm_serve: --rate must be positive\n";
     exit 2
@@ -79,6 +79,7 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
         { Serve.Server.name; weight; slo_factor; process; jobs; mix })
       mixes
   in
+  let trace = Option.map (fun _ -> Engine.Trace.create ()) trace_file in
   let cfg =
     {
       Serve.Server.tenants;
@@ -90,7 +91,7 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
       max_inflight;
       seed;
       data = { Serve.Job.default_data_config with graph_scale; seed = seed + 1 };
-      trace = None;
+      trace;
     }
   in
   match
@@ -99,7 +100,14 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
   with
   | report ->
       print_string (Serve.Server.report_to_json report);
-      print_newline ()
+      print_newline ();
+      (match (trace, trace_file) with
+      | Some tr, Some file ->
+          Engine.Trace.save tr file;
+          Printf.eprintf
+            "wrote %d trace events to %s (load in chrome://tracing)\n%s"
+            (Engine.Trace.num_events tr) file (Engine.Trace.summary tr)
+      | _ -> ())
   | exception Invalid_argument msg ->
       (* configuration rejected by the server or machine model: a user
          error, not a crash *)
@@ -149,6 +157,17 @@ let tenants_arg =
 let graph_scale_arg =
   Arg.(value & opt int 10 & info [ "graph-scale" ] ~doc:"log2 of shared graph vertices.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the serving run (task quanta, \
+           steals, migrations, policy decisions, job admit/shed/start/finish \
+           instants, periodic fill-class counter track) to $(docv); \
+           deterministic for a fixed --seed. A text summary goes to stderr.")
+
 let cmd =
   let doc = "serve a multi-tenant job mix online on the simulated chiplet machine" in
   Cmd.v
@@ -156,6 +175,7 @@ let cmd =
     Term.(
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
-      $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg)
+      $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

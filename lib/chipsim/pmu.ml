@@ -109,6 +109,32 @@ let delta_total ~before ~after ev =
   done;
   !acc
 
+type fill_classes = {
+  fc_local : int;
+  fc_remote_chiplet : int;
+  fc_remote_numa : int;
+  fc_dram : int;
+}
+
+let zero_fill_classes =
+  { fc_local = 0; fc_remote_chiplet = 0; fc_remote_numa = 0; fc_dram = 0 }
+
+let fill_classes t =
+  {
+    fc_local = total t L3_local_hit;
+    fc_remote_chiplet = total t Fill_remote_chiplet;
+    fc_remote_numa = total t Fill_remote_numa;
+    fc_dram = total t Dram_local + total t Dram_remote;
+  }
+
+let fill_classes_delta ~before ~after =
+  {
+    fc_local = after.fc_local - before.fc_local;
+    fc_remote_chiplet = after.fc_remote_chiplet - before.fc_remote_chiplet;
+    fc_remote_numa = after.fc_remote_numa - before.fc_remote_numa;
+    fc_dram = after.fc_dram - before.fc_dram;
+  }
+
 let remote_fill_events t ~core =
   read t ~core Fill_remote_chiplet
   + read t ~core Fill_remote_numa

@@ -40,6 +40,19 @@ val snapshot : t -> snapshot
 val delta : before:snapshot -> after:snapshot -> core:int -> event -> int
 val delta_total : before:snapshot -> after:snapshot -> event -> int
 
+type fill_classes = {
+  fc_local : int;  (** local-chiplet L3 hits *)
+  fc_remote_chiplet : int;
+  fc_remote_numa : int;
+  fc_dram : int;  (** local + remote DRAM *)
+}
+(** Machine-wide totals of the four fill classes the CHARM policy consumes
+    (paper Fig. 3) — the signal a periodic trace counter track samples. *)
+
+val zero_fill_classes : fill_classes
+val fill_classes : t -> fill_classes
+val fill_classes_delta : before:fill_classes -> after:fill_classes -> fill_classes
+
 val remote_fill_events : t -> core:int -> int
 (** Sum of the events Alg. 1 treats as "remote chiplet access": fills served
     by another chiplet (either socket) plus DRAM accesses.  This is the

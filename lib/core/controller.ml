@@ -2,12 +2,23 @@ type decision = { threshold : float; mode : Config.approach }
 
 type t = {
   config : Config.t;
-  mutable last_mode : Config.approach;
+  (* lazily initialized on the first [decide]: seeding it with the
+     configured approach would make the first concrete resolution in
+     [Adaptive] mode look like a switch *)
+  mutable last_mode : Config.approach option;
   mutable switches : int;
+  mutable on_switch : from_mode:Config.approach -> to_mode:Config.approach -> unit;
 }
 
 let create config =
-  { config; last_mode = config.Config.approach; switches = 0 }
+  {
+    config;
+    last_mode = None;
+    switches = 0;
+    on_switch = (fun ~from_mode:_ ~to_mode:_ -> ());
+  }
+
+let set_on_switch t f = t.on_switch <- f
 
 (* Approach-specific threshold scaling: location-centric delays spreading
    (high threshold), cache-centric triggers it eagerly (low threshold). *)
@@ -17,9 +28,12 @@ let cache_scale = 0.25
 let concrete_mode t sample =
   match t.config.Config.approach with
   | (Config.Location_centric | Config.Cache_centric) as m -> m
-  | Config.Adaptive ->
+  | Config.Adaptive -> (
+      let sticky =
+        match t.last_mode with Some m -> m | None -> Config.Adaptive
+      in
       let remote = Profiler.remote_events sample in
-      if remote = 0 then t.last_mode
+      if remote = 0 then sticky
       else begin
         let dram_share = float_of_int sample.Profiler.dram /. float_of_int remote in
         let chiplet_share =
@@ -27,17 +41,19 @@ let concrete_mode t sample =
         in
         if dram_share > 0.5 then Config.Cache_centric
         else if chiplet_share > 0.6 then Config.Location_centric
-        else t.last_mode
-      end
+        else sticky
+      end)
 
 let decide t sample =
   let mode = concrete_mode t sample in
-  (match (mode, t.last_mode) with
-  | Config.Location_centric, Config.Location_centric
-  | Config.Cache_centric, Config.Cache_centric
-  | Config.Adaptive, Config.Adaptive -> ()
-  | _ -> t.switches <- t.switches + 1);
-  t.last_mode <- mode;
+  (match t.last_mode with
+  (* an [Adaptive] previous mode is the unresolved placeholder, not a
+     direction — resolving it for the first time is not a switch *)
+  | Some prev when prev <> mode && prev <> Config.Adaptive ->
+      t.switches <- t.switches + 1;
+      t.on_switch ~from_mode:prev ~to_mode:mode
+  | _ -> ());
+  t.last_mode <- Some mode;
   let base = t.config.Config.rmt_chip_access_rate in
   let threshold =
     match mode with

@@ -21,4 +21,10 @@ val decide : t -> Profiler.sample -> decision
 (** Per-worker, per-tick policy generation from the latest sample. *)
 
 val mode_switches : t -> int
-(** Number of times adaptive mode changed direction (for stats). *)
+(** Number of times adaptive mode changed direction (for stats).  The
+    first concrete resolution after {!create} is not a switch. *)
+
+val set_on_switch :
+  t -> (from_mode:Config.approach -> to_mode:Config.approach -> unit) -> unit
+(** Callback invoked whenever a counted mode switch happens (tracing
+    hook). *)

@@ -6,6 +6,7 @@ type t = {
   bindings : int option array;  (* per worker *)
   owned : Simmem.region list array;  (* per worker *)
   mutable rebinds : int;
+  mutable on_rebind : worker:int -> node:int -> regions:int -> unit;
 }
 
 let create config machine ~n_workers =
@@ -16,7 +17,10 @@ let create config machine ~n_workers =
     bindings = Array.make n_workers None;
     owned = Array.make n_workers [];
     rebinds = 0;
+    on_rebind = (fun ~worker:_ ~node:_ ~regions:_ -> ());
   }
+
+let set_on_rebind t f = t.on_rebind <- f
 
 let bind_worker t ~worker ~node =
   let topo = Machine.topology t.machine in
@@ -40,15 +44,24 @@ let alloc_shared t ?policy ~elt_bytes ~count () =
   Machine.alloc t.machine ?policy ~elt_bytes ~count ()
 
 let on_migrate t ~worker ~old_core ~new_core =
-  let topo = Machine.topology t.machine in
-  let old_node = Topology.socket_of_core topo old_core in
-  let new_node = Topology.socket_of_core topo new_core in
-  t.bindings.(worker) <- Some new_node;
-  if old_node <> new_node && t.config.Config.rebind_memory_on_migrate then
-    List.iter
-      (fun region ->
-        Simmem.rebind (Machine.mem t.machine) region (Simmem.Bind new_node);
-        t.rebinds <- t.rebinds + 1)
-      t.owned.(worker)
+  (* a never-bound worker allocates first-touch by choice; migrating it
+     must not silently harden that into a [Bind] policy, and with
+     [rebind_memory_on_migrate] off the binding itself stays put too *)
+  match t.bindings.(worker) with
+  | None -> ()
+  | Some _ when not t.config.Config.rebind_memory_on_migrate -> ()
+  | Some _ ->
+      let topo = Machine.topology t.machine in
+      let old_node = Topology.socket_of_core topo old_core in
+      let new_node = Topology.socket_of_core topo new_core in
+      t.bindings.(worker) <- Some new_node;
+      if old_node <> new_node then begin
+        List.iter
+          (fun region ->
+            Simmem.rebind (Machine.mem t.machine) region (Simmem.Bind new_node);
+            t.rebinds <- t.rebinds + 1)
+          t.owned.(worker);
+        t.on_rebind ~worker ~node:new_node ~regions:(List.length t.owned.(worker))
+      end
 
 let rebinds t = t.rebinds

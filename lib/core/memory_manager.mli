@@ -29,9 +29,14 @@ val alloc_shared :
 (** Allocation not owned by any worker (shared datasets). *)
 
 val on_migrate : t -> worker:int -> old_core:int -> new_core:int -> unit
-(** Alg. 2 lines 13–14: rebind the worker to the new core's NUMA node and,
-    if the socket changed and the config allows, re-home its owned
-    regions. *)
+(** Alg. 2 lines 13–14: re-point an {e already-bound} worker's policy to
+    the new core's NUMA node and, on a socket change, re-home its owned
+    regions.  Never-bound (first-touch) workers are left untouched, and
+    the whole step is gated on [Config.rebind_memory_on_migrate]. *)
 
 val rebinds : t -> int
 (** Number of region re-homings performed (data-movement stat). *)
+
+val set_on_rebind : t -> (worker:int -> node:int -> regions:int -> unit) -> unit
+(** Callback invoked after a cross-socket re-home of a worker's regions
+    (tracing hook); [regions] is the number of regions re-pointed. *)

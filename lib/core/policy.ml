@@ -26,6 +26,8 @@ type t = {
   mutable s_migrations : int;
   mutable s_skipped : int;
   mutable on_migrate : worker:int -> old_core:int -> new_core:int -> unit;
+  mutable on_spread_change :
+    worker:int -> old_spread:int -> new_spread:int -> at_ns:float -> unit;
 }
 
 let create config machine controller profiler ~n_workers =
@@ -46,6 +48,8 @@ let create config machine controller profiler ~n_workers =
     s_migrations = 0;
     s_skipped = 0;
     on_migrate = (fun ~worker:_ ~old_core:_ ~new_core:_ -> ());
+    on_spread_change =
+      (fun ~worker:_ ~old_spread:_ ~new_spread:_ ~at_ns:_ -> ());
   }
 
 (* Contraction happens only well below the spread trigger: CHARM
@@ -57,6 +61,7 @@ let hysteresis = 0.25
 
 let spread_rate t ~worker = t.states.(worker).spread
 let set_on_migrate t f = t.on_migrate <- f
+let set_on_spread_change t f = t.on_spread_change <- f
 
 let stats t =
   {
@@ -102,7 +107,9 @@ let evaluate t sched ~worker ~now ~elapsed =
   if rate >= decision.Controller.threshold then begin
     if st.spread < chiplets then begin
       st.spread <- st.spread + 1;
-      t.s_spreads <- t.s_spreads + 1
+      t.s_spreads <- t.s_spreads + 1;
+      t.on_spread_change ~worker ~old_spread:(st.spread - 1)
+        ~new_spread:st.spread ~at_ns:now
     end
   end
   else if rate < hysteresis *. decision.Controller.threshold
@@ -111,7 +118,9 @@ let evaluate t sched ~worker ~now ~elapsed =
        never be applied; clamping at the smallest valid spread avoids a
        long invalid-retry climb when the rate rises again. *)
     st.spread <- st.spread - 1;
-    t.s_contracts <- t.s_contracts + 1
+    t.s_contracts <- t.s_contracts + 1;
+    t.on_spread_change ~worker ~old_spread:(st.spread + 1)
+      ~new_spread:st.spread ~at_ns:now
   end;
   update_location t sched ~worker ~core:(Engine.Sched.worker_core sched worker);
   st.last_check <- now;
@@ -150,22 +159,27 @@ let centralized_evaluate t sched ~now ~elapsed =
   let topo = Machine.topology machine in
   let chiplets = topo.Topology.chiplets_per_socket in
   let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
-  let global = t.states.(0).spread in
+  let old_global = t.states.(0).spread in
   let global =
     if rate >= decision.Controller.threshold then begin
-      if global < chiplets then begin
+      if old_global < chiplets then begin
         t.s_spreads <- t.s_spreads + 1;
-        global + 1
+        old_global + 1
       end
-      else global
+      else old_global
     end
-    else if rate < hysteresis *. decision.Controller.threshold && global > min_spread
+    else if rate < hysteresis *. decision.Controller.threshold
+            && old_global > min_spread
     then begin
       t.s_contracts <- t.s_contracts + 1;
-      global - 1
+      old_global - 1
     end
-    else global
+    else old_global
   in
+  if global <> old_global then
+    (* one event for the gang: the arbiter decides, everyone follows *)
+    t.on_spread_change ~worker:0 ~old_spread:old_global ~new_spread:global
+      ~at_ns:now;
   for w = 0 to t.n_workers - 1 do
     let st = t.states.(w) in
     st.spread <- global;
@@ -194,5 +208,10 @@ let tick t sched ~worker =
 let force_tick t sched ~worker =
   let now = Engine.Sched.worker_clock sched worker in
   let st = t.states.(worker) in
-  let elapsed = Float.max (now -. st.last_check) 1.0 in
+  (* clamp to one full timer period, not 1 ns: a force-tick right after a
+     timer tick would otherwise scale the raw counter by ~timer_ns and
+     trigger a bogus spread.  With this floor, rate <= raw counter. *)
+  let elapsed =
+    Float.max (now -. st.last_check) t.config.Config.scheduler_timer_ns
+  in
   evaluate t sched ~worker ~now ~elapsed

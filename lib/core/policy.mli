@@ -35,3 +35,11 @@ val stats : t -> stats
 
 val set_on_migrate : t -> (worker:int -> old_core:int -> new_core:int -> unit) -> unit
 (** Callback invoked after every applied migration (memory manager hook). *)
+
+val set_on_spread_change :
+  t ->
+  (worker:int -> old_spread:int -> new_spread:int -> at_ns:float -> unit) ->
+  unit
+(** Callback invoked whenever Alg. 1 widens or narrows a worker's
+    spread_rate (tracing hook); centralized mode reports one gang-wide
+    change as worker 0. *)

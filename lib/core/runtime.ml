@@ -71,6 +71,29 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
 
 let sched t = t.sched
 let machine t = t.machine
+
+(* the clocks are virtual and deterministic, so the frontier is a stable
+   timestamp for events with no single owning worker (mode switches) *)
+let max_clock t =
+  let m = ref 0.0 in
+  for w = 0 to t.n_workers - 1 do
+    m := Float.max !m (Sched.worker_clock t.sched w)
+  done;
+  !m
+
+let attach_trace t tr =
+  Sched.set_trace t.sched (Some tr);
+  Policy.set_on_spread_change t.policy
+    (fun ~worker ~old_spread ~new_spread ~at_ns ->
+      Engine.Trace.spread_change tr ~worker ~old_spread ~new_spread ~at_ns);
+  Controller.set_on_switch t.controller (fun ~from_mode ~to_mode ->
+      Engine.Trace.mode_switch tr
+        ~from_mode:(Config.approach_to_string from_mode)
+        ~to_mode:(Config.approach_to_string to_mode)
+        ~at_ns:(max_clock t));
+  Memory_manager.set_on_rebind t.memory (fun ~worker ~node ~regions ->
+      Engine.Trace.rebind tr ~worker ~node ~regions
+        ~at_ns:(Sched.worker_clock t.sched worker))
 let config t = t.config
 let n_workers t = t.n_workers
 let policy t = t.policy

@@ -36,6 +36,12 @@ val alloc_shared :
   Simmem.region
 (** Allocate a dataset shared by all tasks (first-touch by default). *)
 
+val attach_trace : t -> Engine.Trace.t -> unit
+(** Wire a trace sink through every layer: the scheduler (quantum, steal,
+    park, migration events), the policy (spread changes), the controller
+    (adaptive mode switches) and the memory manager (cross-socket region
+    re-homes).  Call once, before running work. *)
+
 val run : t -> (Engine.Sched.ctx -> unit) -> float
 (** Execute a main task to completion; returns the virtual makespan (ns).
     Can be called repeatedly; clocks continue monotonically. *)

@@ -29,6 +29,7 @@ type t = {
   machine : Machine.t;
   config : config;
   mutable hooks : hooks;
+  mutable trace : Trace.t option;
   workers : worker array;
   core_owner : int array;  (* core -> worker id, -1 if free *)
   heap : heap;
@@ -36,6 +37,7 @@ type t = {
   mutable spawned : int;
   mutable runnable : int;
   mutable rr : int;  (* round-robin spawn cursor *)
+  mutable next_tid : int;  (* per-instance so trace task ids are reproducible *)
   mutable samples : (float * int) array;
   mutable nsamples : int;
   rng : Rng.t;
@@ -191,6 +193,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     machine;
     config;
     hooks;
+    trace = None;
     workers;
     core_owner;
     heap;
@@ -198,6 +201,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     spawned = 0;
     runnable = 0;
     rr = 0;
+    next_tid = 0;
     samples = Array.make 256 (0.0, 0);
     nsamples = 0;
     rng;
@@ -208,6 +212,8 @@ let n_workers t = Array.length t.workers
 let config t = t.config
 let set_hooks t hooks = t.hooks <- hooks
 let hooks t = t.hooks
+let set_trace t trace = t.trace <- trace
+let trace t = t.trace
 let worker_core t w = t.workers.(w).core
 let worker_clock t w = t.workers.(w).clock
 
@@ -240,21 +246,25 @@ let migrate t ~worker ~core =
       invalid_arg
         (Printf.sprintf "Sched.migrate: core %d already owned by worker %d" core
            t.core_owner.(core));
+    let from_core = w.core in
     t.core_owner.(w.core) <- -1;
     t.core_owner.(core) <- worker;
     w.core <- core;
     w.clock <- w.clock +. t.config.migration_cost_ns;
-    Pmu.incr (Machine.pmu t.machine) ~core Pmu.Migration
+    Pmu.incr (Machine.pmu t.machine) ~core Pmu.Migration;
+    match t.trace with
+    | Some tr when Trace.enabled tr ->
+        Trace.migration tr ~worker ~from_core ~to_core:core ~at_ns:w.clock
+    | _ -> ()
   end
 
-let task_counter = ref 0
 let task_id task = task.tid
 let task_is_done task = task.finished
 
 let make_task t body ~worker ~at =
-  incr task_counter;
+  t.next_tid <- t.next_tid + 1;
   let task =
-    { tid = !task_counter; coro = None; ready_at = at; last_worker = worker; finished = false; waiters = [] }
+    { tid = t.next_tid; coro = None; ready_at = at; last_worker = worker; finished = false; waiters = [] }
   in
   let ctx = { csched = t; ctask = task } in
   task.coro <- Some (Coroutine.create (fun () -> body ctx));
@@ -379,6 +389,11 @@ let try_steal t w =
             in
             w.clock <- w.clock +. cost;
             Pmu.incr (Machine.pmu t.machine) ~core:w.core Pmu.Task_stolen;
+            (match t.trace with
+            | Some tr when Trace.enabled tr ->
+                Trace.steal tr ~thief:w.wid ~victim:victim.wid ~task_id:task.tid
+                  ~at_ns:w.clock
+            | _ -> ());
             if not (Wsqueue.is_empty victim.queue) then
               wake_one_thief t ~near:victim ~at:w.clock;
             Some task
@@ -402,6 +417,9 @@ let next_task t w =
 
 let execute t w task =
   if task.ready_at > w.clock then w.clock <- task.ready_at;
+  (* the quantum starts here, after the ready-time clamp: idle waiting and
+     steal latency before this point belong to no task *)
+  let quantum_start = w.clock in
   w.accesses <- 0;
   let pmu = Machine.pmu t.machine in
   (match t.config.task_model with
@@ -432,6 +450,13 @@ let execute t w task =
       List.iter (fun waiter -> ready t ~at:w.clock waiter) waiters);
   w.did_work <- true;
   w.busy_clock <- w.clock;
+  (* emit before the policy hook runs: a migration decided at quantum end
+     must not retroactively relabel the core this quantum ran on *)
+  (match t.trace with
+  | Some tr when Trace.enabled tr ->
+      Trace.task_quantum tr ~worker:w.wid ~core:w.core ~task_id:task.tid
+        ~start_ns:quantum_start ~end_ns:w.clock
+  | _ -> ());
   t.hooks.on_quantum_end t w.wid
 
 let run t =
@@ -458,6 +483,9 @@ let run t =
             | None ->
                 (* Nothing to run or steal: park until an enqueue wakes us.
                    A short idle advance models the real polling interval. *)
+                (match t.trace with
+                | Some tr when Trace.enabled tr -> Trace.park tr ~worker:wid ~at_ns:w.clock
+                | _ -> ());
                 w.clock <- w.clock +. t.config.idle_quantum_ns;
                 w.parked <- true);
             loop ()

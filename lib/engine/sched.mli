@@ -70,8 +70,19 @@ val config : t -> config
 val set_hooks : t -> hooks -> unit
 
 val hooks : t -> hooks
-(** The currently installed hooks — lets observers (tracing, serving-layer
-    metrics) wrap the active policy hooks instead of replacing them. *)
+(** The currently installed hooks — lets observers (serving-layer metrics)
+    wrap the active policy hooks instead of replacing them. *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Attach (or detach) a trace sink.  While attached and enabled the
+    scheduler emits a [Quantum] event per executed task quantum (real task
+    id, start stamped when the task actually begins — idle and steal time
+    are excluded), a [Steal] event per successful steal, a [Park] event
+    when a worker runs dry, and a [Migration] event from {!migrate}.  With
+    no sink (the default) the hot loop pays one branch and allocates
+    nothing. *)
+
+val trace : t -> Trace.t option
 
 
 val worker_core : t -> int -> int

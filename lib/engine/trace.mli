@@ -1,14 +1,42 @@
-(** Execution tracing: per-worker timelines of task quanta, migrations and
-    policy events in Chrome trace-event JSON (load in
+(** Execution tracing: a bounded ring buffer of scheduler, policy, memory
+    and serving events, serialized as Chrome trace-event JSON (load in
     [chrome://tracing] / Perfetto).
 
     This is the observability side of the paper's profiler: where the PMU
     counters say {e what} was served from where, the trace shows {e when}
-    each worker ran which task on which core. *)
+    each worker ran which task on which core, when the policy spread or
+    contracted the gang, when memory was re-homed, and (in serving mode)
+    the admit/shed/start/finish lifecycle of every job plus a periodic
+    fill-class counter track — the Fig. 3 time series the policy consumes.
+
+    Producers guard every emission behind {!enabled}, so an attached but
+    disabled trace costs one branch and no allocation on the hot paths.
+    The store is a fixed-capacity ring: when full, the {e oldest} events
+    are overwritten ({!dropped} counts the overwritten ones), bounding
+    memory for long serving runs. *)
 
 type t
 
-val create : unit -> t
+type job_phase = Admit | Shed | Start | Finish
+
+val job_phase_name : job_phase -> string
+
+type event =
+  | Quantum of { worker : int; core : int; task_id : int; start_ns : float; end_ns : float }
+  | Steal of { thief : int; victim : int; task_id : int; at_ns : float }
+  | Park of { worker : int; at_ns : float }
+  | Migration of { worker : int; from_core : int; to_core : int; at_ns : float }
+  | Policy of { worker : int; spread : int; at_ns : float }
+  | Spread_change of { worker : int; old_spread : int; new_spread : int; at_ns : float }
+  | Mode_switch of { from_mode : string; to_mode : string; at_ns : float }
+  | Rebind of { worker : int; node : int; regions : int; at_ns : float }
+  | Job of { phase : job_phase; tenant : string; kind : string; job_id : int; at_ns : float }
+  | Counter of { name : string; at_ns : float; series : (string * float) list }
+  | Instant of { name : string; at_ns : float }
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of [capacity] events (default 2^18).
+    @raise Invalid_argument if [capacity <= 0]. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -18,18 +46,48 @@ val set_enabled : t -> bool -> unit
 val task_quantum :
   t -> worker:int -> core:int -> task_id:int -> start_ns:float -> end_ns:float -> unit
 
+val steal : t -> thief:int -> victim:int -> task_id:int -> at_ns:float -> unit
+val park : t -> worker:int -> at_ns:float -> unit
 val migration : t -> worker:int -> from_core:int -> to_core:int -> at_ns:float -> unit
 val policy_decision : t -> worker:int -> spread:int -> at_ns:float -> unit
+
+val spread_change :
+  t -> worker:int -> old_spread:int -> new_spread:int -> at_ns:float -> unit
+
+val mode_switch : t -> from_mode:string -> to_mode:string -> at_ns:float -> unit
+val rebind : t -> worker:int -> node:int -> regions:int -> at_ns:float -> unit
+
+val job :
+  t -> phase:job_phase -> tenant:string -> kind:string -> job_id:int ->
+  at_ns:float -> unit
+
+val counter : t -> name:string -> at_ns:float -> series:(string * float) list -> unit
+(** One sample on a Chrome counter track (["ph":"C"]); [series] maps
+    sub-track names to values at [at_ns]. *)
+
 val instant : t -> name:string -> at_ns:float -> unit
 
 val num_events : t -> int
+(** Events currently retained (at most [capacity]). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val capacity : t -> int
 val clear : t -> unit
 
-val to_chrome_json : t -> string
-(** The complete trace as a Chrome trace-event JSON array.  Durations are
-    microseconds of virtual time, one row ("pid 0, tid = worker") per
-    worker. *)
+val events : t -> event list
+(** Retained events, oldest first (for tests and offline analysis). *)
 
-val hook : t -> Sched.t -> hooks:Sched.hooks -> Sched.hooks
-(** Wrap scheduler hooks so every quantum end records the executing
-    worker's position (cheap coarse tracing without engine changes). *)
+val to_chrome_json : t -> string
+(** The retained window as a Chrome trace-event JSON array.  Timestamps
+    and durations are microseconds of virtual time, one row
+    ("pid 0, tid = worker") per worker; all interpolated names are
+    JSON-escaped. *)
+
+val save : t -> string -> unit
+(** Write {!to_chrome_json} to a file. *)
+
+val summary : t -> string
+(** Human-readable digest: event counts by category, migration churn,
+    job-phase counts and the spread-change timeline. *)

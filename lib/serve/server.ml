@@ -1,6 +1,8 @@
 module Sched = Engine.Sched
 module Future = Engine.Future
 module Systems = Harness.Systems
+module Machine = Chipsim.Machine
+module Pmu = Chipsim.Pmu
 
 type tenant_config = {
   name : string;
@@ -93,6 +95,7 @@ type tenant_state = {
 }
 
 type pending = {
+  id : int;  (** submission order, unique across tenants *)
   tenant : int;
   kind : Job.kind;
   job_seed : int;
@@ -161,22 +164,56 @@ let run inst cfg =
   let fq = Fair_queue.create () in
   Array.iter (fun st -> Fair_queue.add_tenant fq ~tenant:st.idx ~weight:st.cfg_t.weight) tenants;
   let inflight = ref 0 in
+  let next_job_id = ref 0 in
 
-  (* observability hooks: count scheduler quanta (and trace, if attached)
-     around the placement policy's own hooks *)
-  let base_hooks = Sched.hooks sched in
-  let traced_hooks =
+  (* trace sink: under CHARM wire every layer (scheduler, policy,
+     controller, memory manager); baselines get the scheduler events *)
+  (match cfg.trace with
+  | Some tr -> (
+      match inst.Systems.charm with
+      | Some rt -> Charm.Runtime.attach_trace rt tr
+      | None -> Sched.set_trace sched (Some tr))
+  | None -> ());
+  let trace_job ~phase ~tenant ~kind ~job_id ~at_ns =
     match cfg.trace with
-    | Some tr -> Engine.Trace.hook tr sched ~hooks:base_hooks
-    | None -> base_hooks
+    | Some tr when Engine.Trace.enabled tr ->
+        Engine.Trace.job tr ~phase ~tenant ~kind:(Job.kind_name kind) ~job_id ~at_ns
+    | _ -> ()
   in
+
+  (* observability hooks: count scheduler quanta and, when tracing, sample
+     the machine-wide fill-class counters once per interval of virtual
+     time — the Fig. 3 time series the policy consumes — around the
+     placement policy's own hooks *)
+  let base_hooks = Sched.hooks sched in
+  let counter_interval_ns = 50_000.0 in
+  let last_fills = ref Pmu.zero_fill_classes in
+  let last_fills_ns = ref 0.0 in
   Sched.set_hooks sched
     {
-      traced_hooks with
+      base_hooks with
       Sched.on_quantum_end =
         (fun s w ->
           Metrics.incr registry "sched.quanta";
-          traced_hooks.Sched.on_quantum_end s w);
+          (match cfg.trace with
+          | Some tr when Engine.Trace.enabled tr ->
+              let now = Sched.worker_clock s w in
+              if now -. !last_fills_ns >= counter_interval_ns then begin
+                let fills = Pmu.fill_classes (Machine.pmu inst.Systems.machine) in
+                let d = Pmu.fill_classes_delta ~before:!last_fills ~after:fills in
+                Engine.Trace.counter tr ~name:"fills" ~at_ns:now
+                  ~series:
+                    [
+                      ("local", float_of_int d.Pmu.fc_local);
+                      ("remote_chiplet", float_of_int d.Pmu.fc_remote_chiplet);
+                      ("remote_numa", float_of_int d.Pmu.fc_remote_numa);
+                      ("dram", float_of_int d.Pmu.fc_dram);
+                    ];
+                last_fills := fills;
+                last_fills_ns := now
+              end
+          | _ -> ());
+          base_hooks.Sched.on_quantum_end s w);
     };
 
   (* dispatcher: drain the fair queue into at most [max_inflight]
@@ -194,6 +231,8 @@ let run inst cfg =
              past" and produce negative latencies *)
           let start_at = Float.max (Sched.Ctx.now ctx) p.submit_ns in
           Histogram.observe st.wait_hist (start_at -. p.submit_ns);
+          trace_job ~phase:Engine.Trace.Start ~tenant:st.cfg_t.name ~kind:p.kind
+            ~job_id:p.id ~at_ns:start_at;
           ignore
             (Future.spawn_at ctx ~at:start_at (fun ctx' ->
                  let items = Job.run ctx' data ~seed:p.job_seed p.kind in
@@ -203,6 +242,8 @@ let run inst cfg =
   and complete ctx st p items =
     let fin = Sched.Ctx.now ctx in
     let latency = fin -. p.submit_ns in
+    trace_job ~phase:Engine.Trace.Finish ~tenant:st.cfg_t.name ~kind:p.kind
+      ~job_id:p.id ~at_ns:fin;
     decr inflight;
     st.completed <- st.completed + 1;
     Histogram.observe st.lat_hist latency;
@@ -225,6 +266,8 @@ let run inst cfg =
   let submit ctx st ~arrival kind =
     let now = arrival in
     st.submitted <- st.submitted + 1;
+    let job_id = !next_job_id in
+    incr next_job_id;
     Metrics.incr registry "serve.submitted";
     let decision =
       Admission.decide cfg.admission
@@ -235,8 +278,11 @@ let run inst cfg =
     | Admission.Admit ->
         st.admitted <- st.admitted + 1;
         Metrics.incr registry "serve.admitted";
+        trace_job ~phase:Engine.Trace.Admit ~tenant:st.cfg_t.name ~kind
+          ~job_id ~at_ns:now;
         let p =
           {
+            id = job_id;
             tenant = st.idx;
             kind;
             job_seed = Engine.Rng.int st.mix_rng 0x3FFFFFFF;
@@ -251,6 +297,8 @@ let run inst cfg =
         p.done_f
     | (Admission.Shed_tenant_full | Admission.Shed_server_full) as d ->
         st.shed <- st.shed + 1;
+        trace_job ~phase:Engine.Trace.Shed ~tenant:st.cfg_t.name ~kind ~job_id
+          ~at_ns:now;
         Metrics.incr registry "serve.shed";
         Metrics.incr registry ("serve.shed." ^ Admission.decision_name d);
         Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".shed");

@@ -37,7 +37,11 @@ type config = {
   seed : int;
   data : Job.data_config;
   trace : Engine.Trace.t option;
-      (** when present, wired into the scheduler hooks for the run *)
+      (** when present, wired through every layer for the run: scheduler
+          quantum/steal/park/migration events (plus policy, controller and
+          memory-manager events under CHARM), job lifecycle instants
+          (admit/shed/start/finish) and a periodic machine-wide fill-class
+          counter track sampled every 50 us of virtual time *)
 }
 
 val default_config : seed:int -> config

@@ -45,8 +45,14 @@ let test_adaptive_keeps_mode_when_ambiguous () =
 let test_mode_switch_counted () =
   let c = Charm.Controller.create Charm.Config.default in
   ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:0 ~numa:0 ~dram:100));
+  Alcotest.(check int) "first resolution is not a switch" 0
+    (Charm.Controller.mode_switches c);
   ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:100 ~numa:0 ~dram:0));
-  Alcotest.(check bool) "switches recorded" true (Charm.Controller.mode_switches c >= 2)
+  Alcotest.(check int) "direction change counted once" 1
+    (Charm.Controller.mode_switches c);
+  ignore (Charm.Controller.decide c (sample ~local:0 ~chiplet:100 ~numa:0 ~dram:0));
+  Alcotest.(check int) "steady mode adds nothing" 1
+    (Charm.Controller.mode_switches c)
 
 let suite =
   [
