@@ -1,0 +1,116 @@
+(* Fault timeline: tail latency before / during / after a chiplet
+   meltdown, CHARM vs RING vs the OS default.
+
+   At t=3ms of a steady serving run, chiplet 0 melts down: every core
+   throttles to 0.35x, the L3 drops to 2 ways and the I/O-die link
+   degrades 6x (Faults.Schedule.chiplet_meltdown).  The claim under test:
+   CHARM's health monitor flags the chiplet and the policy flees it, so
+   its p99 re-converges to within 2x of the pre-fault tail once the gang
+   has resettled — while fault-blind placements keep scheduling work onto
+   the degraded silicon and never recover. *)
+
+module Sys_ = Harness.Systems
+module Server = Serving.Server
+module Histogram = Serving.Histogram
+
+let seed = 42
+let n_workers = 32
+let cache_scale = 16
+let rate = 5_000.0  (* per tenant; aggregate 3x *)
+let jobs = 60  (* per tenant: ~12 ms of arrivals *)
+let fault_us = 3_000.0
+let settle_us = 4_000.0
+
+let systems =
+  [ (Sys_.Charm, "charm"); (Sys_.Ring, "ring"); (Sys_.Os_default, "os-default") ]
+
+(* latency histograms windowed by job arrival time *)
+type windows = { pre : Histogram.t; during : Histogram.t; post : Histogram.t }
+
+let run_one sys =
+  let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers () in
+  let topo = Chipsim.Machine.topology inst.Sys_.machine in
+  let schedule =
+    Faults.Schedule.chiplet_meltdown ~topo ~chiplet:0 ~at_us:fault_us ()
+  in
+  ignore
+    (Faults.Injector.attach inst.Sys_.env.Workloads.Exec_env.sched schedule
+      : Faults.Injector.t);
+  let w =
+    {
+      pre = Histogram.create ();
+      during = Histogram.create ();
+      post = Histogram.create ();
+    }
+  in
+  let on_complete ~tenant:_ ~kind:_ ~submit_ns ~finish_ns =
+    let h =
+      if submit_ns < fault_us *. 1e3 then w.pre
+      else if submit_ns < (fault_us +. settle_us) *. 1e3 then w.during
+      else w.post
+    in
+    Histogram.observe h (finish_ns -. submit_ns)
+  in
+  let base = Server.default_config ~seed in
+  let cfg =
+    {
+      base with
+      Server.tenants =
+        List.map
+          (fun t ->
+            {
+              t with
+              Server.process = Serving.Arrivals.Open_loop { rate_per_s = rate };
+              jobs;
+            })
+          base.Server.tenants;
+      on_complete = Some on_complete;
+      trace = !Util.trace_sink;
+    }
+  in
+  ignore (Server.run inst cfg : Server.report);
+  (w, inst)
+
+let run () =
+  Util.section
+    "Fault - p99 across a chiplet-0 meltdown at t=3ms (dvfs 0.35x, L3 2 \
+     ways, link 6x)";
+  Util.row "  %-10s %12s %12s %12s %9s %s\n" "system" "pre(us)" "during(us)"
+    "post(us)" "post/pre" "verdict";
+  List.iter
+    (fun (sys, name) ->
+      let w, inst = run_one sys in
+      let pre = Histogram.p99 w.pre and post = Histogram.p99 w.post in
+      let ratio = if pre > 0.0 then post /. pre else 0.0 in
+      let verdict = if ratio <= 2.0 then "recovered" else "degraded" in
+      Util.row "  %-10s %12.1f %12.1f %12.1f %9.2f %s\n" name (pre /. 1e3)
+        (Histogram.p99 w.during /. 1e3)
+        (post /. 1e3) ratio verdict;
+      match inst.Sys_.charm with
+      | Some rt ->
+          let st = Charm.Policy.stats (Charm.Runtime.policy rt) in
+          (* detection latency = first sick flag for the melted chiplet at
+             or after the fault instant (warm-up imbalance can flag other
+             chiplets earlier) *)
+          let detect =
+            Charm.Health_monitor.events (Charm.Runtime.health rt)
+            |> List.filter_map (fun e ->
+                   if
+                     e.Charm.Health_monitor.chiplet = 0
+                     && e.Charm.Health_monitor.sick
+                     && e.Charm.Health_monitor.at_ns >= fault_us *. 1e3
+                   then Some e.Charm.Health_monitor.at_ns
+                   else None)
+            |> function [] -> None | ns -> Some (List.fold_left min infinity ns)
+          in
+          (match detect with
+          | Some flag_ns ->
+              Util.row
+                "  %-10s detection latency %.0f us, %d health migrations\n" ""
+                ((flag_ns -. (fault_us *. 1e3)) /. 1e3)
+                st.Charm.Policy.health_migrations
+          | None ->
+              Util.row "  %-10s no sick flag raised (%d health migrations)\n"
+                "" st.Charm.Policy.health_migrations)
+      | None -> ())
+    systems

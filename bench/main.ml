@@ -1,7 +1,7 @@
 (* Bench driver: regenerates every table and figure of the paper's
    evaluation.  Run with no arguments for the full suite, or pass
    experiment names (fig1 fig3 fig4 fig5 fig7 tab1 fig8 fig9 tab2 fig10
-   fig11 fig12 fig13 fig14 ablation micro serve) to run a subset. *)
+   fig11 fig12 fig13 fig14 ablation micro serve fault) to run a subset. *)
 
 let experiments =
   [
@@ -22,6 +22,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("serve", Serve.run);
+    ("fault", Fault.run);
   ]
 
 let () =

@@ -107,8 +107,32 @@ let run_workload env inst ~workload ~graph_scale ~query ~seed =
   let report = Sys_.report inst in
   Format.printf "---@.%a@." Engine.Stats.pp report
 
-let main sys machine workers cache_scale workload graph_scale query seed trace_file =
+(* --faults accepts the spec inline or as a path to a spec file *)
+let load_fault_spec spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then begin
+    let ic = open_in spec in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+  else spec
+
+let main sys machine workers cache_scale workload graph_scale query seed
+    trace_file fault_spec =
   let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+  (match fault_spec with
+  | Some spec -> (
+      let topo = Chipsim.Machine.topology inst.Sys_.machine in
+      match Faults.Schedule.parse ~topo (load_fault_spec spec) with
+      | Ok schedule ->
+          ignore
+            (Faults.Injector.attach inst.Sys_.env.Workloads.Exec_env.sched
+               schedule
+              : Faults.Injector.t)
+      | Error msg ->
+          Printf.eprintf "charm_run: bad --faults spec: %s\n" msg;
+          exit 2)
+  | None -> ());
   let trace =
     match trace_file with
     | None -> None
@@ -174,12 +198,26 @@ let trace_arg =
            parks, migrations, policy decisions) to $(docv); a text summary \
            goes to stderr.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault schedule: either an inline spec or a path to \
+           a spec file. Entries are ';'- or newline-separated \
+           $(i,TIME_US:KIND:ARGS) — core-off/core-on:CORE, dvfs:CORE:SPEED, \
+           l3-ways:CHIPLET:WAYS, link:CHIPLET:MULT, xsocket:MULT, \
+           membw:NODE:FACTOR — plus rand:SEED:N:HORIZON_US for seeded \
+           random events.")
+
 let cmd =
   let doc = "run a workload on the simulated chiplet machine under a runtime system" in
   Cmd.v
     (Cmd.info "charm_run" ~doc)
     Term.(
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
-      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg $ trace_arg)
+      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg $ trace_arg
+      $ faults_arg)
 
 let () = exit (Cmd.eval cmd)

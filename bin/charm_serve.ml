@@ -60,8 +60,19 @@ let default_mixes =
     ("oltp", 1.0, [ (Serve.Job.Ycsb_batch 256, 2); (Serve.Job.Gups 4096, 1) ]);
   ]
 
+(* --faults accepts the spec inline or as a path to a spec file *)
+let load_fault_spec spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then begin
+    let ic = open_in spec in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+  else spec
+
 let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
-    slo_factor closed_loop think_us tenant_specs graph_scale trace_file =
+    slo_factor closed_loop think_us tenant_specs graph_scale trace_file
+    fault_spec =
   if closed_loop = None && rate <= 0.0 then begin
     Printf.eprintf "charm_serve: --rate must be positive\n";
     exit 2
@@ -92,10 +103,24 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
       seed;
       data = { Serve.Job.default_data_config with graph_scale; seed = seed + 1 };
       trace;
+      on_complete = None;
     }
   in
   match
     let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+    (match fault_spec with
+    | Some spec -> (
+        let topo = Chipsim.Machine.topology inst.Sys_.machine in
+        match Faults.Schedule.parse ~topo (load_fault_spec spec) with
+        | Ok schedule ->
+            ignore
+              (Faults.Injector.attach inst.Sys_.env.Workloads.Exec_env.sched
+                 schedule
+                : Faults.Injector.t)
+        | Error msg ->
+            Printf.eprintf "charm_serve: bad --faults spec: %s\n" msg;
+            exit 2)
+    | None -> ());
     Serve.Server.run inst cfg
   with
   | report ->
@@ -168,6 +193,19 @@ let trace_arg =
            instants, periodic fill-class counter track) to $(docv); \
            deterministic for a fixed --seed. A text summary goes to stderr.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault schedule: either an inline spec or a path to \
+           a spec file. Entries are ';'- or newline-separated \
+           $(i,TIME_US:KIND:ARGS) — core-off/core-on:CORE, dvfs:CORE:SPEED, \
+           l3-ways:CHIPLET:WAYS, link:CHIPLET:MULT, xsocket:MULT, \
+           membw:NODE:FACTOR — plus rand:SEED:N:HORIZON_US for seeded \
+           random events. Same seed and spec give a byte-identical report.")
+
 let cmd =
   let doc = "serve a multi-tenant job mix online on the simulated chiplet machine" in
   Cmd.v
@@ -176,6 +214,6 @@ let cmd =
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
-      $ trace_arg)
+      $ trace_arg $ faults_arg)
 
 let () = exit (Cmd.eval cmd)

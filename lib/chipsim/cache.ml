@@ -5,6 +5,7 @@ type t = {
   tags : int array;  (* sets * ways; -1 = invalid *)
   stamps : int array;  (* recency stamp per way *)
   mutable clock : int;
+  mutable effective_ways : int;  (* <= ways; disabled ways hold no lines *)
 }
 
 let create ?(ways = 16) ~size_bytes ~line_bytes () =
@@ -23,6 +24,7 @@ let create ?(ways = 16) ~size_bytes ~line_bytes () =
     tags = Array.make (sets * ways) (-1);
     stamps = Array.make (sets * ways) 0;
     clock = 0;
+    effective_ways = ways;
   }
 
 type access_result = Hit | Miss of { evicted : int option }
@@ -36,7 +38,7 @@ let access t line =
   t.clock <- t.clock + 1;
   let base = set_of_line t line * t.ways in
   let rec find i =
-    if i >= t.ways then None
+    if i >= t.effective_ways then None
     else if t.tags.(base + i) = line then Some i
     else find (i + 1)
   in
@@ -47,7 +49,7 @@ let access t line =
   | None ->
       (* choose an invalid way, else the LRU way *)
       let victim = ref 0 and best = ref max_int and free = ref (-1) in
-      for i = 0 to t.ways - 1 do
+      for i = 0 to t.effective_ways - 1 do
         if t.tags.(base + i) = -1 then (if !free = -1 then free := i)
         else if t.stamps.(base + i) < !best then begin
           best := t.stamps.(base + i);
@@ -63,7 +65,7 @@ let access t line =
 let probe t line =
   let base = set_of_line t line * t.ways in
   let rec find i =
-    if i >= t.ways then false
+    if i >= t.effective_ways then false
     else t.tags.(base + i) = line || find (i + 1)
   in
   find 0
@@ -71,7 +73,7 @@ let probe t line =
 let invalidate t line =
   let base = set_of_line t line * t.ways in
   let rec find i =
-    if i >= t.ways then false
+    if i >= t.effective_ways then false
     else if t.tags.(base + i) = line then begin
       t.tags.(base + i) <- -1;
       true
@@ -88,6 +90,19 @@ let clear t =
 let size_bytes t = t.size_bytes
 let ways t = t.ways
 let sets t = t.sets
+let effective_ways t = t.effective_ways
+
+let set_effective_ways t ways =
+  let ways = max 1 (min t.ways ways) in
+  if ways < t.effective_ways then
+    (* lines resident in the disabled ways are lost, as with real L3 way
+       partitioning: the victim ways drop their contents *)
+    for s = 0 to t.sets - 1 do
+      for w = ways to t.effective_ways - 1 do
+        t.tags.((s * t.ways) + w) <- -1
+      done
+    done;
+  t.effective_ways <- ways
 
 let occupancy t =
   let n = ref 0 in

@@ -30,5 +30,15 @@ val clear : t -> unit
 val size_bytes : t -> int
 val ways : t -> int
 val sets : t -> int
+
+val effective_ways : t -> int
+(** Ways currently enabled (= [ways] unless degraded). *)
+
+val set_effective_ways : t -> int -> unit
+(** Degrade (or restore) the cache to the given way count, clamped to
+    [\[1, ways\]].  Shrinking drops the lines held in the disabled ways;
+    growing re-enables empty ways.  Models runtime L3 way-partitioning
+    faults. *)
+
 val occupancy : t -> int
 (** Number of valid lines currently held (O(capacity); for tests/stats). *)

@@ -8,6 +8,11 @@ type t = {
   links : Memchan.t;  (* per-chiplet link to the I/O die (GMI) *)
   mem : Simmem.t;
   pmu : Pmu.t;
+  mods : Modifiers.t;  (* dynamic fault state, read on every access *)
+  mem_ns : float array;
+      (* per-core accumulated memory-access latency: the "latency PMU"
+         the health monitor divides by the fill-event count to get a
+         clean ns/access signal, unaffected by compute time *)
 }
 
 let create ?(profile = Latency.default_profile) topo =
@@ -35,12 +40,30 @@ let create ?(profile = Latency.default_profile) topo =
         ~bytes_per_ns_per_channel:4.0 ~line_bytes:topo.Topology.line_bytes ();
     mem = Simmem.create topo;
     pmu = Pmu.create ~cores;
+    mods = Modifiers.create ~cores ~chiplets ~nodes:topo.Topology.sockets;
+    mem_ns = Array.make cores 0.0;
   }
 
 let topology t = t.topo
 let profile t = t.profile
 let pmu t = t.pmu
 let mem t = t.mem
+let modifiers t = t.mods
+
+let set_l3_ways t ~chiplet ~ways =
+  if chiplet < 0 || chiplet >= Array.length t.l3 then
+    invalid_arg "Machine.set_l3_ways: chiplet out of range";
+  Cache.set_effective_ways t.l3.(chiplet) ways
+
+let l3_ways t ~chiplet =
+  if chiplet < 0 || chiplet >= Array.length t.l3 then
+    invalid_arg "Machine.l3_ways: chiplet out of range";
+  Cache.effective_ways t.l3.(chiplet)
+
+let set_mem_capacity_factor t ~node factor =
+  Memchan.set_capacity_factor t.chan ~node factor
+
+let mem_capacity_factor t ~node = Memchan.capacity_factor t.chan ~node
 
 let alloc t ?policy ~elt_bytes ~count () =
   Simmem.alloc t.mem ?policy ~elt_bytes ~count ()
@@ -74,14 +97,28 @@ let access_line t ~core ~now_ns ~write ~line =
               | Some holder ->
                   let d = Latency.classify_chiplets topo chiplet holder in
                   let base = Latency.of_distance p d in
+                  let base =
+                    (* degraded cross-socket fabric inflates every hop
+                       between the sockets *)
+                    if Topology.socket_of_chiplet topo holder = socket then base
+                    else base *. Modifiers.xsocket_mult t.mods
+                  in
                   if Topology.socket_of_chiplet topo holder = socket then
                     Pmu.incr t.pmu ~core Pmu.Fill_remote_chiplet
                   else Pmu.incr t.pmu ~core Pmu.Fill_remote_numa;
                   (* a cache-to-cache transfer occupies both chiplets'
                      I/O-die links; inter-chiplet traffic therefore
-                     saturates with core count (paper insight 3) *)
-                  let l1 = Memchan.access_ns t.links ~node:chiplet ~now_ns ~base_ns:base in
-                  let l2c = Memchan.access_ns t.links ~node:holder ~now_ns ~base_ns:base in
+                     saturates with core count (paper insight 3).  A
+                     degraded link multiplies the latency of every
+                     transfer crossing it. *)
+                  let l1 =
+                    Memchan.access_ns t.links ~node:chiplet ~now_ns
+                      ~base_ns:(base *. Modifiers.link_mult t.mods chiplet)
+                  in
+                  let l2c =
+                    Memchan.access_ns t.links ~node:holder ~now_ns
+                      ~base_ns:(base *. Modifiers.link_mult t.mods holder)
+                  in
                   Float.max l1 l2c
               | None ->
                   let addr = line * topo.Topology.line_bytes in
@@ -93,7 +130,7 @@ let access_line t ~core ~now_ns ~write ~line =
                     end
                     else begin
                       Pmu.incr t.pmu ~core Pmu.Dram_remote;
-                      p.Latency.dram_remote_ns
+                      p.Latency.dram_remote_ns *. Modifiers.xsocket_mult t.mods
                     end
                   in
                   let node_cost =
@@ -102,7 +139,8 @@ let access_line t ~core ~now_ns ~write ~line =
                   (* DRAM traffic also crosses this chiplet's I/O-die link;
                      the slower of the two queues dominates *)
                   let link_cost =
-                    Memchan.access_ns t.links ~node:chiplet ~now_ns ~base_ns:base
+                    Memchan.access_ns t.links ~node:chiplet ~now_ns
+                      ~base_ns:(base *. Modifiers.link_mult t.mods chiplet)
                   in
                   Float.max node_cost link_cost
             in
@@ -112,20 +150,24 @@ let access_line t ~core ~now_ns ~write ~line =
       fill_cost
     end
   in
-  if write then begin
-    (* Invalidate copies held by other chiplets; the writer becomes the
-       exclusive holder. *)
-    let extra = ref 0.0 in
-    Directory.iter_holders t.dir ~line (fun holder ->
-        if holder <> chiplet then begin
-          ignore (Cache.invalidate t.l3.(holder) line : bool);
-          Pmu.incr t.pmu ~core Pmu.Coherence_invalidation;
-          extra := !extra +. p.Latency.coherence_inval_ns
-        end);
-    Directory.set_exclusive t.dir ~line ~chiplet;
-    cost +. !extra
-  end
-  else cost
+  let total =
+    if write then begin
+      (* Invalidate copies held by other chiplets; the writer becomes the
+         exclusive holder. *)
+      let extra = ref 0.0 in
+      Directory.iter_holders t.dir ~line (fun holder ->
+          if holder <> chiplet then begin
+            ignore (Cache.invalidate t.l3.(holder) line : bool);
+            Pmu.incr t.pmu ~core Pmu.Coherence_invalidation;
+            extra := !extra +. p.Latency.coherence_inval_ns
+          end);
+      Directory.set_exclusive t.dir ~line ~chiplet;
+      cost +. !extra
+    end
+    else cost
+  in
+  t.mem_ns.(core) <- t.mem_ns.(core) +. total;
+  total
 
 let access t ~core ~now_ns ~write addr =
   access_line t ~core ~now_ns ~write ~line:(addr / t.topo.Topology.line_bytes)
@@ -166,7 +208,10 @@ let flush_caches t =
   Memchan.reset t.chan;
   Memchan.reset t.links
 
+let mem_ns t ~core = t.mem_ns.(core)
+
 let reset t =
   flush_caches t;
   Simmem.reset t.mem;
-  Pmu.reset t.pmu
+  Pmu.reset t.pmu;
+  Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0

@@ -15,6 +15,24 @@ val profile : t -> Latency.profile
 val pmu : t -> Pmu.t
 val mem : t -> Simmem.t
 
+val modifiers : t -> Modifiers.t
+(** Dynamic fault state (DVFS factors, offline cores, link/cross-socket
+    latency multipliers).  Writing it changes the latencies and PMU fill
+    classes of subsequent accesses; the scheduler reads it to scale
+    quantum progress and honour offline cores. *)
+
+val set_l3_ways : t -> chiplet:int -> ways:int -> unit
+(** Degrade (or restore) a chiplet's L3 to [ways] enabled ways (see
+    {!Cache.set_effective_ways}). *)
+
+val l3_ways : t -> chiplet:int -> int
+
+val set_mem_capacity_factor : t -> node:int -> float -> unit
+(** Throttle a NUMA node's deliverable memory bandwidth (see
+    {!Memchan.set_capacity_factor}). *)
+
+val mem_capacity_factor : t -> node:int -> float
+
 val alloc :
   t -> ?policy:Simmem.policy -> elt_bytes:int -> count:int -> unit ->
   Simmem.region
@@ -41,6 +59,14 @@ val touch_range :
 val core_to_core_ns : t -> int -> int -> float
 val dram_load_ratio : t -> node:int -> now_ns:float -> float
 val dram_bytes_served : t -> node:int -> int
+
+val mem_ns : t -> core:int -> float
+(** Accumulated memory-access latency this core has been charged, in
+    virtual ns — a "latency PMU" companion to the fill-event counters.
+    Dividing its delta by the fill-count delta gives average latency per
+    access, which degradation faults (link, L3 ways, bandwidth) inflate
+    directly while compute time and scheduling delays leave it untouched;
+    {!Core.Health_monitor} feeds on exactly that ratio. *)
 
 val flush_caches : t -> unit
 (** Drop all cached state (caches, directory, channel history) but keep

@@ -2,72 +2,104 @@ type t = {
   bin_ns : float;
   nodes : int;
   line_bytes : int;
-  capacity_bytes_per_bin : float;  (* per node *)
+  capacity_bytes_per_bin : float;  (* per node, at full health *)
+  cap_factor : float array;  (* per node, fault throttling in (0, 1] *)
   (* ring of recent bins per node: bins.(node * ring + (bin mod ring)) *)
   ring : int;
   bin_ids : int array;  (* which absolute bin each slot currently holds *)
   bin_bytes : int array;
   total_bytes : int array;  (* per node *)
+  mutable stale_accesses : int;  (* accesses landing in an already-recycled bin *)
 }
 
 let ring_slots = 8192
 
-let create ?(bin_ns = 1000.0) ~nodes ~channels_per_node ~bytes_per_ns_per_channel
-    ~line_bytes () =
+let create ?(bin_ns = 1000.0) ?(slots = ring_slots) ~nodes ~channels_per_node
+    ~bytes_per_ns_per_channel ~line_bytes () =
   if nodes <= 0 then invalid_arg "Memchan.create: nodes must be positive";
   if channels_per_node <= 0 then
     invalid_arg "Memchan.create: channels_per_node must be positive";
+  if slots <= 0 then invalid_arg "Memchan.create: slots must be positive";
   {
     bin_ns;
     nodes;
     line_bytes;
     capacity_bytes_per_bin =
       float_of_int channels_per_node *. bytes_per_ns_per_channel *. bin_ns;
-    ring = ring_slots;
-    bin_ids = Array.make (nodes * ring_slots) (-1);
-    bin_bytes = Array.make (nodes * ring_slots) 0;
+    cap_factor = Array.make nodes 1.0;
+    ring = slots;
+    bin_ids = Array.make (nodes * slots) (-1);
+    bin_bytes = Array.make (nodes * slots) 0;
     total_bytes = Array.make nodes 0;
+    stale_accesses = 0;
   }
 
 let slot t node bin = (node * t.ring) + (bin mod t.ring)
 
-let bin_of t now_ns = int_of_float (now_ns /. t.bin_ns)
+(* clamp below at 0 so a (defensive) negative timestamp cannot index into
+   another node's slot range *)
+let bin_of t now_ns = max 0 (int_of_float (now_ns /. t.bin_ns))
 
 let check_node t node =
   if node < 0 || node >= t.nodes then invalid_arg "Memchan: node out of range"
+
+let capacity t node = t.capacity_bytes_per_bin *. t.cap_factor.(node)
+
+let set_capacity_factor t ~node factor =
+  check_node t node;
+  t.cap_factor.(node) <- Float.max 0.01 (Float.min 1.0 factor)
+
+let capacity_factor t ~node =
+  check_node t node;
+  t.cap_factor.(node)
 
 let current_bytes t node bin =
   let s = slot t node bin in
   if t.bin_ids.(s) = bin then t.bin_bytes.(s) else 0
 
+(* Mild queueing slope below saturation, steep beyond it. *)
+let contention_factor load =
+  if load <= 1.0 then 1.0 +. (0.3 *. load) else 1.3 +. (2.0 *. (load -. 1.0))
+
 let access_ns t ~node ~now_ns ~base_ns =
   check_node t node;
   let bin = bin_of t now_ns in
   let s = slot t node bin in
-  if t.bin_ids.(s) <> bin then begin
-    t.bin_ids.(s) <- bin;
-    t.bin_bytes.(s) <- 0
-  end;
-  t.bin_bytes.(s) <- t.bin_bytes.(s) + t.line_bytes;
   t.total_bytes.(node) <- t.total_bytes.(node) + t.line_bytes;
-  let load = float_of_int t.bin_bytes.(s) /. t.capacity_bytes_per_bin in
-  (* Mild queueing slope below saturation, steep beyond it. *)
-  let factor =
-    if load <= 1.0 then 1.0 +. (0.3 *. load)
-    else 1.3 +. (2.0 *. (load -. 1.0))
-  in
-  base_ns *. factor
+  if t.bin_ids.(s) = bin then begin
+    t.bin_bytes.(s) <- t.bin_bytes.(s) + t.line_bytes;
+    base_ns *. contention_factor (float_of_int t.bin_bytes.(s) /. capacity t node)
+  end
+  else if t.bin_ids.(s) < bin then begin
+    (* fresh (or recycled) bin: the slot's previous occupant is older and
+       its window has passed *)
+    t.bin_ids.(s) <- bin;
+    t.bin_bytes.(s) <- t.line_bytes;
+    base_ns *. contention_factor (float_of_int t.line_bytes /. capacity t node)
+  end
+  else begin
+    (* ring wraparound alias: a lagging worker touches a bin whose slot was
+       already recycled by an access [ring] bins later.  Resetting the slot
+       here would erase the newer bin's demand history (the old silent
+       bug); instead keep the newer bin intact, count the stale access, and
+       charge the lagging access at its own (unknowable) bin's base load. *)
+    t.stale_accesses <- t.stale_accesses + 1;
+    base_ns *. contention_factor (float_of_int t.line_bytes /. capacity t node)
+  end
 
 let load_ratio t ~node ~now_ns =
   check_node t node;
   let bin = bin_of t now_ns in
-  float_of_int (current_bytes t node bin) /. t.capacity_bytes_per_bin
+  float_of_int (current_bytes t node bin) /. capacity t node
 
 let bytes_served t ~node =
   check_node t node;
   t.total_bytes.(node)
 
+let stale_accesses t = t.stale_accesses
+
 let reset t =
   Array.fill t.bin_ids 0 (Array.length t.bin_ids) (-1);
   Array.fill t.bin_bytes 0 (Array.length t.bin_bytes) 0;
-  Array.fill t.total_bytes 0 (Array.length t.total_bytes) 0
+  Array.fill t.total_bytes 0 (Array.length t.total_bytes) 0;
+  t.stale_accesses <- 0

@@ -4,18 +4,28 @@
     a bin exceed what the node's channels can deliver, the access latency is
     inflated proportionally.  This reproduces the paper's core premise
     (§2.2): more cores competing for a fixed number of channels degrade
-    per-access latency once the node saturates. *)
+    per-access latency once the node saturates.
+
+    Recent bins live in a fixed ring.  When virtual time spans more than
+    [slots] bins, a lagging access can alias with a newer bin that recycled
+    its slot; such stale accesses are counted (see {!stale_accesses}) and
+    charged at base load instead of clobbering the newer bin's demand
+    history.  A node's deliverable capacity can be throttled at runtime
+    (fault injection) via {!set_capacity_factor}. *)
 
 type t
 
 val create :
   ?bin_ns:float ->
+  ?slots:int ->
   nodes:int ->
   channels_per_node:int ->
   bytes_per_ns_per_channel:float ->
   line_bytes:int ->
   unit ->
   t
+(** [slots] is the ring length in bins (default 8192; exposed for
+    wraparound tests). *)
 
 val access_ns : t -> node:int -> now_ns:float -> base_ns:float -> float
 (** [access_ns t ~node ~now_ns ~base_ns] records one line transfer against
@@ -23,9 +33,25 @@ val access_ns : t -> node:int -> now_ns:float -> base_ns:float -> float
     latency (at least [base_ns]). *)
 
 val load_ratio : t -> node:int -> now_ns:float -> float
-(** Demand / capacity of the bin containing [now_ns] (1.0 = saturated). *)
+(** Demand / effective capacity of the bin containing [now_ns]
+    (1.0 = saturated). *)
 
 val bytes_served : t -> node:int -> int
-(** Total bytes ever served by the node (for bandwidth-utilisation stats). *)
+(** Total bytes ever served by the node (for bandwidth-utilisation stats).
+    Includes stale (aliased) accesses, so per-node byte totals stay correct
+    across ring wraparound. *)
+
+val set_capacity_factor : t -> node:int -> float -> unit
+(** Throttle the node's deliverable bytes per bin to this fraction of
+    nominal (clamped to [\[0.01, 1\]]).  Models memory-channel faults. *)
+
+val capacity_factor : t -> node:int -> float
+
+val stale_accesses : t -> int
+(** Accesses that landed in a bin whose ring slot was already recycled by
+    a newer bin (only possible once virtual time spans more than [slots]
+    bins). *)
 
 val reset : t -> unit
+(** Clears demand history and byte totals; capacity throttling persists
+    (a cache flush does not heal a hardware fault). *)

@@ -1,0 +1,54 @@
+(** Dynamic machine-state modifiers: the mutable "hardware registers" a
+    fault injector writes and the simulated machine reads on every access.
+
+    All values start pristine (speed 1.0, everything online, all
+    multipliers 1.0).  The scheduler reads {!core_speed} to scale quantum
+    progress and {!core_online} to park workers; {!Machine.access_line}
+    reads the link and cross-socket multipliers on every remote fill.
+    DVFS state and core hotplug are OS-visible on real machines, so
+    runtime components may read those directly; latency multipliers model
+    silent degradation that only shows up in PMU counters. *)
+
+type t
+
+val create : cores:int -> chiplets:int -> nodes:int -> t
+
+val core_speed : t -> int -> float
+(** DVFS factor: 1.0 nominal, 0.5 half speed.  Clamped to >= 0.05. *)
+
+val set_core_speed : t -> int -> float -> unit
+val core_online : t -> int -> bool
+val set_core_online : t -> int -> bool -> unit
+
+val link_mult : t -> int -> float
+(** Per-chiplet I/O-die link latency multiplier (>= 1.0). *)
+
+val set_link_mult : t -> int -> float -> unit
+
+val xsocket_mult : t -> float
+(** Cross-socket hop latency multiplier (>= 1.0). *)
+
+val set_xsocket_mult : t -> float -> unit
+
+val online_capacity : t -> float
+(** Machine-wide effective compute capacity in [0, 1]: mean over cores of
+    [speed] for online cores (offline cores contribute 0).  The serving
+    layer scales admission bounds by this. *)
+
+val chiplet_os_impaired : t -> chiplet:int -> cores_per_chiplet:int -> bool
+(** OS-visible impairment on the chiplet: any core offline or DVFS
+    throttled — the state a real runtime reads from sysfs.  Link
+    degradation is deliberately excluded; it is silent and must be
+    inferred from latency (see {!Core.Health_monitor}). *)
+
+val chiplet_impaired : t -> chiplet:int -> cores_per_chiplet:int -> bool
+(** Any impairment on the chiplet, OS-visible or silent: offline or
+    throttled cores, or a raised link multiplier. *)
+
+val pristine : t -> bool
+(** True iff no modifier deviates from its healthy default. *)
+
+val generation : t -> int
+(** Bumped on every mutation (cheap change detection for observers). *)
+
+val reset : t -> unit

@@ -44,7 +44,12 @@ let concrete_mode t sample =
         else sticky
       end)
 
-let decide t sample =
+(* When the worker sits on degraded silicon, halving the threshold makes
+   the policy spread away from it after roughly half the evidence — the
+   hardware is known-bad, so the usual reluctance to migrate is wrong. *)
+let degraded_scale = 0.5
+
+let decide t ?(degraded = false) sample =
   let mode = concrete_mode t sample in
   (match t.last_mode with
   (* an [Adaptive] previous mode is the unresolved placeholder, not a
@@ -61,6 +66,7 @@ let decide t sample =
     | Config.Cache_centric -> base *. cache_scale
     | Config.Adaptive -> base
   in
+  let threshold = if degraded then threshold *. degraded_scale else threshold in
   { threshold; mode }
 
 let mode_switches t = t.switches

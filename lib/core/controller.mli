@@ -17,8 +17,11 @@ type t
 
 val create : Config.t -> t
 
-val decide : t -> Profiler.sample -> decision
-(** Per-worker, per-tick policy generation from the latest sample. *)
+val decide : t -> ?degraded:bool -> Profiler.sample -> decision
+(** Per-worker, per-tick policy generation from the latest sample.
+    [~degraded:true] (the worker sits on a chiplet the health monitor
+    flagged sick) halves the threshold so the policy spreads away from
+    known-bad silicon with half the usual evidence. *)
 
 val mode_switches : t -> int
 (** Number of times adaptive mode changed direction (for stats).  The

@@ -1,0 +1,57 @@
+(** Degradation detector: turns the profiler's raw signals into a
+    per-chiplet sick/healthy verdict the policy can steer by.
+
+    Two detection paths feed the same flags:
+
+    - {b OS-visible} state (core hotplug, DVFS throttling, which a real
+      runtime reads from sysfs) flags a chiplet the moment the machine's
+      {!Chipsim.Modifiers} generation moves.
+    - {b Silent} degradation (link latency, L3 way loss, memory-channel
+      throttling) is inferred from memory latency per access: each worker
+      quantum contributes a [ns/access] sample — the delta of the core's
+      accumulated {!Chipsim.Machine.mem_ns} latency meter over the delta
+      of its fill-event count, so compute time and scheduling delays
+      cancel out — to its chiplet's fast EWMA.  A chiplet is flagged when
+      the fast EWMA both jumps well above the chiplet's own slow baseline
+      (faults are step changes; static workload heterogeneity is not) and
+      stands out from the cross-chiplet median, for several consecutive
+      samples.  The baseline freezes while sick and recovery is sticky —
+      a run of samples back near the baseline — so the gang doesn't
+      bounce.
+
+    Everything is driven by virtual time and PMU deltas, so detection is
+    deterministic. *)
+
+open Chipsim
+
+type t
+type event = { chiplet : int; sick : bool; at_ns : float }
+
+val create : Machine.t -> n_workers:int -> t
+
+val observe : t -> worker:int -> core:int -> now:float -> unit
+(** Feed one quantum-end observation for [worker] running on [core] at
+    virtual time [now].  Cheap (a few PMU reads); intended to run from the
+    scheduler's [on_quantum_end] hook before the policy tick. *)
+
+val sick : t -> chiplet:int -> bool
+val sick_chiplets : t -> int list
+val any_sick : t -> bool
+
+val first_flag_ns : t -> float option
+(** Virtual time of the first sick flag ever raised (detection latency =
+    this minus the fault's injection time). *)
+
+val events : t -> event list
+(** All flag transitions, oldest first. *)
+
+val ewma : t -> chiplet:int -> float
+(** Current memory-latency-per-access estimate in ns (0 until the chiplet
+    has samples). *)
+
+val counter_series : t -> (string * float) list
+(** Per-chiplet [ns/access] EWMA and sick flags, for a trace counter
+    track.  Only chiplets with data appear. *)
+
+val set_on_event : t -> (chiplet:int -> sick:bool -> at_ns:float -> unit) -> unit
+(** Callback on every flag transition (tracing / serving-layer hook). *)

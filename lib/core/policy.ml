@@ -6,6 +6,7 @@ type stats = {
   contracts : int;
   migrations : int;
   skipped : int;
+  health_migrations : int;
 }
 
 type worker_state = {
@@ -25,6 +26,8 @@ type t = {
   mutable s_contracts : int;
   mutable s_migrations : int;
   mutable s_skipped : int;
+  mutable s_health_migrations : int;
+  mutable health : (int -> bool) option;  (* chiplet -> currently sick? *)
   mutable on_migrate : worker:int -> old_core:int -> new_core:int -> unit;
   mutable on_spread_change :
     worker:int -> old_spread:int -> new_spread:int -> at_ns:float -> unit;
@@ -47,6 +50,8 @@ let create config machine controller profiler ~n_workers =
     s_contracts = 0;
     s_migrations = 0;
     s_skipped = 0;
+    s_health_migrations = 0;
+    health = None;
     on_migrate = (fun ~worker:_ ~old_core:_ ~new_core:_ -> ());
     on_spread_change =
       (fun ~worker:_ ~old_spread:_ ~new_spread:_ ~at_ns:_ -> ());
@@ -60,6 +65,9 @@ let create config machine controller profiler ~n_workers =
 let hysteresis = 0.25
 
 let spread_rate t ~worker = t.states.(worker).spread
+let set_health t f = t.health <- f
+let chiplet_sick t chiplet =
+  match t.health with None -> false | Some sick -> sick chiplet
 let set_on_migrate t f = t.on_migrate <- f
 let set_on_spread_change t f = t.on_spread_change <- f
 
@@ -70,6 +78,7 @@ let stats t =
     contracts = t.s_contracts;
     migrations = t.s_migrations;
     skipped = t.s_skipped;
+    health_migrations = t.s_health_migrations;
   }
 
 (* Alg. 2 application: compute the target core and migrate if it is free.
@@ -84,6 +93,12 @@ let update_location t sched ~worker ~core =
   with
   | None -> t.s_skipped <- t.s_skipped + 1
   | Some target when target = core -> ()
+  | Some target
+    when chiplet_sick t (Topology.chiplet_of_core topo target)
+         && not (chiplet_sick t (Topology.chiplet_of_core topo core)) ->
+      (* health veto: never move a healthy worker onto a sick chiplet,
+         even when Alg. 2 nominates it — retried once the flag clears *)
+      t.s_skipped <- t.s_skipped + 1
   | Some target -> (
       match Engine.Sched.worker_of_core sched target with
       | Some _other -> t.s_skipped <- t.s_skipped + 1
@@ -93,6 +108,44 @@ let update_location t sched ~worker ~core =
           Profiler.rebase t.profiler ~worker ~core:target;
           t.on_migrate ~worker ~old_core:core ~new_core:target)
 
+(* A worker stuck on a sick chiplet ignores Alg. 2 and flees to the
+   nearest free core on a healthy chiplet.  Alg. 2 keeps nominating cores
+   from the contiguous gang footprint, so without this escape hatch the
+   gang would sit on the degraded silicon forever. *)
+let flee_sick_chiplet t sched ~worker ~core =
+  let topo = Machine.topology t.machine in
+  if chiplet_sick t (Topology.chiplet_of_core topo core) then begin
+    let cores = Topology.num_cores topo in
+    let best = ref (-1) and best_rank = ref max_int in
+    for c = 0 to cores - 1 do
+      if
+        (not (chiplet_sick t (Topology.chiplet_of_core topo c)))
+        && Engine.Sched.worker_of_core sched c = None
+        && Modifiers.core_online (Machine.modifiers t.machine) c
+      then begin
+        let r =
+          match Latency.classify topo core c with
+          | Latency.Same_core -> 0
+          | Latency.Same_chiplet -> 1
+          | Latency.Same_group -> 2
+          | Latency.Same_socket -> 3
+          | Latency.Cross_socket -> 4
+        in
+        if r < !best_rank then begin
+          best_rank := r;
+          best := c
+        end
+      end
+    done;
+    if !best >= 0 then begin
+      Engine.Sched.migrate sched ~worker ~core:!best;
+      t.s_migrations <- t.s_migrations + 1;
+      t.s_health_migrations <- t.s_health_migrations + 1;
+      Profiler.rebase t.profiler ~worker ~core:!best;
+      t.on_migrate ~worker ~old_core:core ~new_core:!best
+    end
+  end
+
 let evaluate t sched ~worker ~now ~elapsed =
   let core = Engine.Sched.worker_core sched worker in
   let st = t.states.(worker) in
@@ -100,7 +153,10 @@ let evaluate t sched ~worker ~now ~elapsed =
   let sample = Profiler.read t.profiler ~worker ~core in
   let counter = float_of_int (Profiler.remote_events sample) in
   let rate = counter *. t.config.Config.scheduler_timer_ns /. elapsed in
-  let decision = Controller.decide t.controller sample in
+  let degraded =
+    chiplet_sick t (Topology.chiplet_of_core (Machine.topology t.machine) core)
+  in
+  let decision = Controller.decide t.controller ~degraded sample in
   let topo = Machine.topology t.machine in
   let chiplets = topo.Topology.chiplets_per_socket in
   let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
@@ -123,6 +179,8 @@ let evaluate t sched ~worker ~now ~elapsed =
       ~new_spread:st.spread ~at_ns:now
   end;
   update_location t sched ~worker ~core:(Engine.Sched.worker_core sched worker);
+  flee_sick_chiplet t sched ~worker
+    ~core:(Engine.Sched.worker_core sched worker);
   st.last_check <- now;
   let current_core = Engine.Sched.worker_core sched worker in
   Profiler.reset t.profiler ~worker ~core:current_core

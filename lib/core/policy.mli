@@ -13,7 +13,11 @@ type stats = {
   spreads : int;  (** spread_rate increments *)
   contracts : int;  (** spread_rate decrements *)
   migrations : int;  (** affinity changes actually applied *)
-  skipped : int;  (** migrations skipped (invalid bounds or occupied core) *)
+  skipped : int;
+      (** migrations skipped (invalid bounds, occupied core, or a
+          health-vetoed sick target) *)
+  health_migrations : int;
+      (** of [migrations], those fleeing a chiplet flagged sick *)
 }
 
 type t
@@ -22,6 +26,12 @@ val create :
   Config.t -> Machine.t -> Controller.t -> Profiler.t -> n_workers:int -> t
 
 val spread_rate : t -> worker:int -> int
+
+val set_health : t -> (int -> bool) option -> unit
+(** Install a [chiplet -> currently sick] oracle (the health monitor).
+    While set, Alg. 2 targets on sick chiplets are vetoed, workers already
+    on a sick chiplet flee to the nearest free healthy core at their next
+    tick, and the controller threshold is halved for degraded workers. *)
 
 val tick : t -> Engine.Sched.t -> worker:int -> unit
 (** Run one Alg. 1 evaluation for [worker] if its timer elapsed.  Intended

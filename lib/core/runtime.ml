@@ -9,6 +9,7 @@ type t = {
   controller : Controller.t;
   policy : Policy.t;
   memory : Memory_manager.t;
+  health : Health_monitor.t;
   n_workers : int;
   mutable makespan : float;
 }
@@ -35,6 +36,8 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
   let config = { config with Config.initial_spread = spread0 } in
   let policy = Policy.create config machine controller profiler ~n_workers in
   let memory = Memory_manager.create config machine ~n_workers in
+  let health = Health_monitor.create machine ~n_workers in
+  Policy.set_health policy (Some (fun chiplet -> Health_monitor.sick health ~chiplet));
   Policy.set_on_migrate policy (fun ~worker ~old_core ~new_core ->
       Memory_manager.on_migrate memory ~worker ~old_core ~new_core);
   (* initial memory bindings follow the initial placement *)
@@ -43,7 +46,8 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
       ~node:(Placement.numa_node_of_core topo (Sched.worker_core sched w))
   done;
   let t =
-    { config; machine; sched; profiler; controller; policy; memory; n_workers; makespan = 0.0 }
+    { config; machine; sched; profiler; controller; policy; memory; health;
+      n_workers; makespan = 0.0 }
   in
   let steal_rng = Engine.Rng.create 0x51ea1 in
   let hooks =
@@ -52,6 +56,11 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
         (fun sched worker ->
           if config.Config.profile_while_running then begin
             Sched.charge sched ~worker config.Config.profiler_overhead_ns;
+            (* health first: the policy tick right after should already
+               see a freshly flagged chiplet *)
+            Health_monitor.observe health ~worker
+              ~core:(Sched.worker_core sched worker)
+              ~now:(Sched.worker_clock sched worker);
             Policy.tick policy sched ~worker
           end);
       steal_order =
@@ -93,12 +102,21 @@ let attach_trace t tr =
         ~at_ns:(max_clock t));
   Memory_manager.set_on_rebind t.memory (fun ~worker ~node ~regions ->
       Engine.Trace.rebind tr ~worker ~node ~regions
-        ~at_ns:(Sched.worker_clock t.sched worker))
+        ~at_ns:(Sched.worker_clock t.sched worker));
+  Health_monitor.set_on_event t.health (fun ~chiplet ~sick ~at_ns ->
+      Engine.Trace.instant tr
+        ~name:
+          (Printf.sprintf "health: chiplet %d %s" chiplet
+             (if sick then "sick" else "recovered"))
+        ~at_ns;
+      Engine.Trace.counter tr ~name:"health" ~at_ns
+        ~series:(Health_monitor.counter_series t.health))
 let config t = t.config
 let n_workers t = t.n_workers
 let policy t = t.policy
 let memory t = t.memory
 let profiler t = t.profiler
+let health t = t.health
 
 let alloc_shared t ?policy ~elt_bytes ~count () =
   Memory_manager.alloc_shared t.memory ?policy ~elt_bytes ~count ()

@@ -31,6 +31,12 @@ val policy : t -> Policy.t
 val memory : t -> Memory_manager.t
 val profiler : t -> Profiler.t
 
+val health : t -> Health_monitor.t
+(** The degradation detector.  It is fed automatically at every quantum
+    end (before the policy tick) and wired into the policy as its
+    sick-chiplet oracle; under fault injection the gang flees flagged
+    chiplets and admission control can shrink capacity. *)
+
 val alloc_shared :
   t -> ?policy:Simmem.policy -> elt_bytes:int -> count:int -> unit ->
   Simmem.region
@@ -39,8 +45,10 @@ val alloc_shared :
 val attach_trace : t -> Engine.Trace.t -> unit
 (** Wire a trace sink through every layer: the scheduler (quantum, steal,
     park, migration events), the policy (spread changes), the controller
-    (adaptive mode switches) and the memory manager (cross-socket region
-    re-homes).  Call once, before running work. *)
+    (adaptive mode switches), the memory manager (cross-socket region
+    re-homes) and the health monitor (sick/recovered instants plus a
+    per-chiplet ns/access counter track).  Call once, before running
+    work. *)
 
 val run : t -> (Engine.Sched.ctx -> unit) -> float
 (** Execute a main task to completion; returns the virtual makespan (ns).

@@ -30,6 +30,8 @@ type t = {
   config : config;
   mutable hooks : hooks;
   mutable trace : Trace.t option;
+  mutable on_advance : (float -> unit) option;
+      (* fault pump: called with the event-loop frontier before each pick *)
   workers : worker array;
   core_owner : int array;  (* core -> worker id, -1 if free *)
   heap : heap;
@@ -50,6 +52,8 @@ and worker = {
   mutable busy_clock : float;  (* clock at the end of the last real quantum *)
   mutable did_work : bool;
   mutable parked : bool;  (* out of the heap, waiting for an enqueue *)
+  mutable offlined : bool;  (* core lost with nowhere to migrate: dormant *)
+  mutable redirect : int;  (* where an offlined worker's enqueues go; -1 none *)
   queue : task Wsqueue.t;
   wrng : Rng.t;
   mutable accesses : int;  (* this quantum *)
@@ -182,6 +186,8 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
           busy_clock = 0.0;
           did_work = false;
           parked = false;
+          offlined = false;
+          redirect = -1;
           queue = Wsqueue.create ();
           wrng = Rng.split rng;
           accesses = 0;
@@ -194,6 +200,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     config;
     hooks;
     trace = None;
+    on_advance = None;
     workers;
     core_owner;
     heap;
@@ -214,8 +221,13 @@ let set_hooks t hooks = t.hooks <- hooks
 let hooks t = t.hooks
 let set_trace t trace = t.trace <- trace
 let trace t = t.trace
+let set_on_advance t f = t.on_advance <- f
 let worker_core t w = t.workers.(w).core
 let worker_clock t w = t.workers.(w).clock
+let worker_offlined t w = t.workers.(w).offlined
+
+let active_workers t =
+  Array.fold_left (fun acc w -> if w.offlined then acc else acc + 1) 0 t.workers
 
 let worker_of_core t core =
   if core < 0 || core >= Array.length t.core_owner then None
@@ -239,7 +251,12 @@ let concurrency_samples t = Array.sub t.samples 0 t.nsamples
 
 let migrate t ~worker ~core =
   let w = t.workers.(worker) in
-  if w.core <> core then begin
+  if w.core <> core && Modifiers.core_online (Machine.modifiers t.machine) core
+  then begin
+    (* migrating onto an offline core is silently refused rather than
+       raised: fault-blind policies (the OS-default wanderer) keep trying
+       arbitrary cores, exactly as a real kernel's load balancer skips
+       offlined CPUs *)
     let topo = Machine.topology t.machine in
     Topology.validate_core topo core;
     if t.core_owner.(core) <> -1 then
@@ -271,7 +288,7 @@ let make_task t body ~worker ~at =
   task
 
 let unpark t w ~at =
-  if w.parked then begin
+  if w.parked && not w.offlined then begin
     w.parked <- false;
     if at > w.clock then w.clock <- at;
     heap_push t.heap w.clock w.wid
@@ -283,7 +300,7 @@ let wake_one_thief t ~near ~at =
   let best = ref None and best_rank = ref max_int in
   Array.iter
     (fun w ->
-      if w.parked then begin
+      if w.parked && not w.offlined then begin
         let r = distance_rank topo near.core w.core in
         if r < !best_rank then begin
           best_rank := r;
@@ -293,8 +310,21 @@ let wake_one_thief t ~near ~at =
     t.workers;
   match !best with Some w -> unpark t w ~at | None -> ()
 
+(* Resolve an offlined worker to the live worker its queue was drained
+   into; the chain is bounded by the worker count (redirects only ever
+   point at workers that were live at drain time). *)
+let live_target t wid =
+  let rec go wid guard =
+    let w = t.workers.(wid) in
+    if (not w.offlined) || w.redirect < 0 || guard = 0 then wid
+    else go w.redirect (guard - 1)
+  in
+  go wid (Array.length t.workers)
+
 let enqueue t task =
-  let w = t.workers.(task.last_worker) in
+  let target = live_target t task.last_worker in
+  task.last_worker <- target;
+  let w = t.workers.(target) in
   Wsqueue.push w.queue task;
   t.runnable <- t.runnable + 1;
   unpark t w ~at:task.ready_at;
@@ -309,9 +339,16 @@ let spawn t ?worker ?(at = 0.0) body =
           invalid_arg "Sched.spawn: worker out of range";
         w
     | None ->
-        let w = t.rr in
-        t.rr <- (t.rr + 1) mod Array.length t.workers;
-        w
+        (* skip dormant workers so round-robin spawns land on live queues
+           directly (enqueue would redirect anyway, but the rr cursor
+           should keep distributing evenly over the survivors) *)
+        let n = Array.length t.workers in
+        let rec pick tries =
+          let w = t.rr in
+          t.rr <- (t.rr + 1) mod n;
+          if t.workers.(w).offlined && tries < n then pick (tries + 1) else w
+        in
+        pick 0
   in
   let task = make_task t body ~worker ~at in
   t.live <- t.live + 1;
@@ -432,7 +469,15 @@ let execute t w task =
   Pmu.incr pmu ~core:w.core Pmu.Context_switch;
   task.last_worker <- w.wid;
   let coro = Option.get task.coro in
-  (match Coroutine.resume coro with
+  let result = Coroutine.resume coro in
+  (* DVFS: a slowed core retires the same work in proportionally more
+     virtual time.  Rescaling at quantum end keeps the memory model exact
+     (accesses were charged at nominal latency inside the quantum) while
+     the task's forward progress per nanosecond drops with core speed. *)
+  let speed = Modifiers.core_speed (Machine.modifiers t.machine) w.core in
+  if speed <> 1.0 then
+    w.clock <- quantum_start +. ((w.clock -. quantum_start) /. speed);
+  (match result with
   | Coroutine.Yielded ->
       (* remember the progress point: if a lagging thief later steals this
          task it must resume at or after where it left off, or task-local
@@ -459,6 +504,75 @@ let execute t w task =
   | _ -> ());
   t.hooks.on_quantum_end t w.wid
 
+(* A core went offline.  Preference order: migrate its worker to the
+   nearest free online core; otherwise park the worker dormant and drain
+   its queue into the nearest surviving worker.  The last active worker is
+   never offlined — the simulation must be able to drain. *)
+let handle_core_offline t ~core =
+  match worker_of_core t core with
+  | None -> ()
+  | Some wid ->
+      let w = t.workers.(wid) in
+      let topo = Machine.topology t.machine in
+      let mods = Machine.modifiers t.machine in
+      let best = ref (-1) and best_rank = ref max_int in
+      Array.iteri
+        (fun c owner ->
+          if owner = -1 && Modifiers.core_online mods c then begin
+            let r = distance_rank topo core c in
+            if r < !best_rank then begin
+              best_rank := r;
+              best := c
+            end
+          end)
+        t.core_owner;
+      if !best >= 0 then migrate t ~worker:wid ~core:!best
+      else if active_workers t > 1 then begin
+        w.offlined <- true;
+        w.parked <- true;
+        let dest = ref None and dest_rank = ref max_int in
+        Array.iter
+          (fun w' ->
+            if w'.wid <> wid && not w'.offlined then begin
+              let r = distance_rank topo core w'.core in
+              if r < !dest_rank then begin
+                dest_rank := r;
+                dest := Some w'
+              end
+            end)
+          t.workers;
+        match !dest with
+        | None -> ()  (* unreachable: active_workers > 1 *)
+        | Some d ->
+            w.redirect <- d.wid;
+            let rec drain () =
+              match Wsqueue.pop_front w.queue with
+              | None -> ()
+              | Some task ->
+                  task.last_worker <- d.wid;
+                  Wsqueue.push d.queue task;
+                  drain ()
+            in
+            drain ();
+            unpark t d ~at:w.clock
+      end
+
+(* A previously offlined core came back.  Only workers that went dormant
+   in place are revived; a worker that migrated away stays where it is
+   (its old core is simply available again as a migration target). *)
+let handle_core_online t ~core ~at =
+  match worker_of_core t core with
+  | None -> ()
+  | Some wid ->
+      let w = t.workers.(wid) in
+      if w.offlined then begin
+        w.offlined <- false;
+        w.redirect <- -1;
+        if at > w.clock then w.clock <- at;
+        w.parked <- true;
+        unpark t w ~at
+      end
+
 let run t =
   let rec loop () =
     if t.live = 0 then ()
@@ -470,12 +584,21 @@ let run t =
           raise Deadlock
       | Some (key, wid) ->
           let w = t.workers.(wid) in
-          if key < w.clock then begin
-            (* stale heap entry; reinsert with the fresh clock *)
-            heap_push t.heap w.clock wid;
+          if w.offlined then
+            (* dormant worker's stale heap entry: drop it *)
             loop ()
-          end
           else begin
+            (* fault pump: [key] is the event-loop frontier — no worker can
+               run earlier than it, so faults due at or before it apply
+               deterministically here, at a quantum boundary *)
+            (match t.on_advance with Some f -> f key | None -> ());
+            if w.offlined then loop ()
+            else if key < w.clock then begin
+              (* stale heap entry; reinsert with the fresh clock *)
+              heap_push t.heap w.clock wid;
+              loop ()
+            end
+            else begin
             (match next_task t w with
             | Some task ->
                 execute t w task;
@@ -488,7 +611,8 @@ let run t =
                 | _ -> ());
                 w.clock <- w.clock +. t.config.idle_quantum_ns;
                 w.parked <- true);
-            loop ()
+              loop ()
+            end
           end
     end
   in

@@ -85,15 +85,44 @@ val set_trace : t -> Trace.t option -> unit
 val trace : t -> Trace.t option
 
 
+val set_on_advance : t -> (float -> unit) option -> unit
+(** Install a fault pump: called with the event-loop frontier (the
+    least-advanced runnable worker's clock) before every scheduling pick.
+    Virtual time never runs ahead of the frontier, so applying a fault
+    schedule from this callback is deterministic — a fault due at time
+    [f] lands at the first quantum boundary whose frontier reaches [f]. *)
+
 val worker_core : t -> int -> int
 val worker_clock : t -> int -> float
 val worker_of_core : t -> int -> int option
 val queue_length : t -> int -> int
 
+val worker_offlined : t -> int -> bool
+(** Whether the worker is dormant because its core went offline with no
+    spare core to migrate to. *)
+
+val active_workers : t -> int
+(** Workers currently able to run tasks (not dormant). *)
+
 val migrate : t -> worker:int -> core:int -> unit
 (** Rebind a worker to another (free) core, charging the migration cost.
-    No-op if already there.  @raise Invalid_argument if the core is bound
-    to another worker. *)
+    No-op if already there, or if the target core is marked offline in the
+    machine's {!Chipsim.Modifiers} (fault-blind policies keep proposing
+    arbitrary cores; a real kernel silently skips offlined CPUs).
+    @raise Invalid_argument if the core is bound to another worker. *)
+
+val handle_core_offline : t -> core:int -> unit
+(** React to a core-offline fault: migrate the bound worker to the nearest
+    free online core, or — with none available — park it dormant and drain
+    its queue into the nearest surviving worker.  The last active worker
+    is never made dormant.  No-op if no worker is bound to [core].  The
+    caller is expected to have already marked the core offline in
+    {!Chipsim.Modifiers}. *)
+
+val handle_core_online : t -> core:int -> at:float -> unit
+(** React to a core-online recovery at virtual time [at]: revive a worker
+    that went dormant in place on [core].  A worker that migrated away
+    stays on its new core.  No-op otherwise. *)
 
 val spawn : t -> ?worker:int -> ?at:float -> (ctx -> unit) -> task
 (** Enqueue a new task.  Without [?worker] tasks are distributed

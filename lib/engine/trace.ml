@@ -18,6 +18,7 @@ type event =
   | Job of { phase : job_phase; tenant : string; kind : string; job_id : int; at_ns : float }
   | Counter of { name : string; at_ns : float; series : (string * float) list }
   | Instant of { name : string; at_ns : float }
+  | Fault of { desc : string; at_ns : float }
 
 (* Fixed-capacity ring: when full the oldest event is overwritten, so a
    long serving run keeps the newest window instead of growing without
@@ -101,6 +102,7 @@ let job t ~phase ~tenant ~kind ~job_id ~at_ns =
 
 let counter t ~name ~at_ns ~series = push t (Counter { name; at_ns; series })
 let instant t ~name ~at_ns = push t (Instant { name; at_ns })
+let fault t ~desc ~at_ns = push t (Fault { desc; at_ns })
 
 (* -- Chrome trace-event JSON -------------------------------------------- *)
 
@@ -175,6 +177,10 @@ let event_json = function
       Printf.sprintf
         {|{"name":"%s","cat":"marker","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
         (escape name) (us at_ns)
+  | Fault { desc; at_ns } ->
+      Printf.sprintf
+        {|{"name":"%s","cat":"fault","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
+        (escape desc) (us at_ns)
 
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
@@ -207,6 +213,7 @@ let category = function
   | Job _ -> "job"
   | Counter _ -> "counter"
   | Instant _ -> "marker"
+  | Fault _ -> "fault"
 
 let summary t =
   let b = Buffer.create 1024 in

@@ -33,6 +33,7 @@ type event =
   | Job of { phase : job_phase; tenant : string; kind : string; job_id : int; at_ns : float }
   | Counter of { name : string; at_ns : float; series : (string * float) list }
   | Instant of { name : string; at_ns : float }
+  | Fault of { desc : string; at_ns : float }
 
 val create : ?capacity:int -> unit -> t
 (** Ring buffer of [capacity] events (default 2^18).
@@ -66,6 +67,10 @@ val counter : t -> name:string -> at_ns:float -> series:(string * float) list ->
     sub-track names to values at [at_ns]. *)
 
 val instant : t -> name:string -> at_ns:float -> unit
+
+val fault : t -> desc:string -> at_ns:float -> unit
+(** Record a fault-injection or recovery instant (rendered on the global
+    ["fault"] category track). *)
 
 val num_events : t -> int
 (** Events currently retained (at most [capacity]). *)

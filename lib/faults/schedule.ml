@@ -1,0 +1,187 @@
+open Chipsim
+
+type kind =
+  | Core_off of int
+  | Core_on of int
+  | Dvfs of { core : int; speed : float }
+  | L3_ways of { chiplet : int; ways : int }
+  | Link of { chiplet : int; mult : float }
+  | Xsocket of float
+  | Membw of { node : int; factor : float }
+
+type event = { at_ns : float; kind : kind }
+type t = event list
+
+let describe = function
+  | Core_off c -> Printf.sprintf "core-off %d" c
+  | Core_on c -> Printf.sprintf "core-on %d" c
+  | Dvfs { core; speed } -> Printf.sprintf "dvfs core %d -> %.2fx" core speed
+  | L3_ways { chiplet; ways } ->
+      Printf.sprintf "l3-ways chiplet %d -> %d" chiplet ways
+  | Link { chiplet; mult } ->
+      Printf.sprintf "link chiplet %d -> x%.2f" chiplet mult
+  | Xsocket m -> Printf.sprintf "xsocket -> x%.2f" m
+  | Membw { node; factor } ->
+      Printf.sprintf "membw node %d -> %.2fx" node factor
+
+let sort t =
+  (* stable, so same-instant events keep their spec order *)
+  List.stable_sort (fun a b -> compare a.at_ns b.at_ns) t
+
+let to_spec t =
+  String.concat ";"
+    (List.map
+       (fun { at_ns; kind } ->
+         let us = at_ns /. 1000.0 in
+         match kind with
+         | Core_off c -> Printf.sprintf "%g:core-off:%d" us c
+         | Core_on c -> Printf.sprintf "%g:core-on:%d" us c
+         | Dvfs { core; speed } -> Printf.sprintf "%g:dvfs:%d:%g" us core speed
+         | L3_ways { chiplet; ways } ->
+             Printf.sprintf "%g:l3-ways:%d:%d" us chiplet ways
+         | Link { chiplet; mult } ->
+             Printf.sprintf "%g:link:%d:%g" us chiplet mult
+         | Xsocket m -> Printf.sprintf "%g:xsocket:%g" us m
+         | Membw { node; factor } ->
+             Printf.sprintf "%g:membw:%d:%g" us node factor)
+       (sort t))
+
+(* -- spec parsing -------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let int_field entry name s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> fail "%s: %s must be an integer (got %S)" entry name s
+
+let float_field entry name s =
+  match float_of_string_opt (String.trim s) with
+  | Some v when Float.is_finite v -> v
+  | _ -> fail "%s: %s must be a finite number (got %S)" entry name s
+
+let check_range entry name v lo hi =
+  if v < lo || v >= hi then
+    fail "%s: %s %d out of range [0, %d)" entry name v hi
+
+(* [rand:SEED:N:HORIZON_US] expands to N machine-valid fault events drawn
+   deterministically from SEED over [0, horizon); useful for chaos-style
+   robustness runs that must still replay byte-identically. *)
+let expand_rand ~topo entry ~seed ~n ~horizon_us =
+  if n < 0 then fail "%s: event count must be >= 0" entry;
+  if horizon_us <= 0.0 then fail "%s: horizon must be positive" entry;
+  let cores = Topology.num_cores topo in
+  let chiplets = Topology.num_chiplets topo in
+  let nodes = topo.Topology.sockets in
+  let rng = Engine.Rng.create seed in
+  let module Rng = Engine.Rng in
+  List.init n (fun _ ->
+      let at_ns = Rng.float rng (horizon_us *. 1000.0) in
+      let kind =
+        match Rng.int rng 6 with
+        | 0 -> Core_off (Rng.int rng cores)
+        | 1 -> Core_on (Rng.int rng cores)
+        | 2 ->
+            Dvfs { core = Rng.int rng cores; speed = 0.2 +. Rng.float rng 0.7 }
+        | 3 ->
+            L3_ways
+              { chiplet = Rng.int rng chiplets; ways = 1 + Rng.int rng 16 }
+        | 4 ->
+            Link { chiplet = Rng.int rng chiplets; mult = 1.5 +. Rng.float rng 6.0 }
+        | _ ->
+            Membw { node = Rng.int rng nodes; factor = 0.1 +. Rng.float rng 0.9 }
+      in
+      { at_ns; kind })
+
+let parse_entry ~topo entry =
+  let cores = Topology.num_cores topo in
+  let chiplets = Topology.num_chiplets topo in
+  let nodes = topo.Topology.sockets in
+  match String.split_on_char ':' entry with
+  | [ "rand"; seed; n; horizon ] ->
+      expand_rand ~topo entry ~seed:(int_field entry "seed" seed)
+        ~n:(int_field entry "count" n)
+        ~horizon_us:(float_field entry "horizon" horizon)
+  | time :: rest -> (
+      let us = float_field entry "time" time in
+      if us < 0.0 then fail "%s: time must be >= 0" entry;
+      let at_ns = us *. 1000.0 in
+      let one kind = [ { at_ns; kind } ] in
+      match rest with
+      | [ "core-off"; c ] ->
+          let c = int_field entry "core" c in
+          check_range entry "core" c 0 cores;
+          one (Core_off c)
+      | [ "core-on"; c ] ->
+          let c = int_field entry "core" c in
+          check_range entry "core" c 0 cores;
+          one (Core_on c)
+      | [ "dvfs"; c; s ] ->
+          let c = int_field entry "core" c in
+          check_range entry "core" c 0 cores;
+          let s = float_field entry "speed" s in
+          if s <= 0.0 then fail "%s: speed must be positive" entry;
+          one (Dvfs { core = c; speed = s })
+      | [ "l3-ways"; ch; w ] ->
+          let ch = int_field entry "chiplet" ch in
+          check_range entry "chiplet" ch 0 chiplets;
+          let w = int_field entry "ways" w in
+          if w < 1 then fail "%s: ways must be >= 1" entry;
+          one (L3_ways { chiplet = ch; ways = w })
+      | [ "link"; ch; m ] ->
+          let ch = int_field entry "chiplet" ch in
+          check_range entry "chiplet" ch 0 chiplets;
+          let m = float_field entry "mult" m in
+          if m < 1.0 then fail "%s: link multiplier must be >= 1" entry;
+          one (Link { chiplet = ch; mult = m })
+      | [ "xsocket"; m ] ->
+          let m = float_field entry "mult" m in
+          if m < 1.0 then fail "%s: xsocket multiplier must be >= 1" entry;
+          one (Xsocket m)
+      | [ "membw"; nd; f ] ->
+          let nd = int_field entry "node" nd in
+          check_range entry "node" nd 0 nodes;
+          let f = float_field entry "factor" f in
+          if f <= 0.0 || f > 1.0 then
+            fail "%s: capacity factor must be in (0, 1]" entry;
+          one (Membw { node = nd; factor = f })
+      | kind :: _ -> fail "%s: unknown fault kind %S" entry kind
+      | [] -> fail "%s: missing fault kind" entry)
+  | [] -> fail "%s: empty entry" entry
+
+let parse ~topo spec =
+  let entries =
+    String.split_on_char '\n' spec
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "" && not (String.length s > 0 && s.[0] = '#'))
+  in
+  try Ok (sort (List.concat_map (parse_entry ~topo) entries))
+  with Parse_error msg -> Error msg
+
+let parse_exn ~topo spec =
+  match parse ~topo spec with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Faults.Schedule.parse: " ^ msg)
+
+(* -- presets ------------------------------------------------------------- *)
+
+(* The bench scenario: one chiplet's cores throttle hard, its L3 loses
+   most of its ways and its I/O-die link degrades — the compound
+   "sick chiplet" from the paper's motivation for runtime adaptivity. *)
+let chiplet_meltdown ~topo ?(chiplet = 0) ~at_us () =
+  let at_ns = at_us *. 1000.0 in
+  if chiplet < 0 || chiplet >= Topology.num_chiplets topo then
+    invalid_arg "Schedule.chiplet_meltdown: chiplet out of range";
+  let cpc = topo.Topology.cores_per_chiplet in
+  let dvfs =
+    List.init cpc (fun i ->
+        { at_ns; kind = Dvfs { core = (chiplet * cpc) + i; speed = 0.35 } })
+  in
+  dvfs
+  @ [
+      { at_ns; kind = L3_ways { chiplet; ways = 2 } };
+      { at_ns; kind = Link { chiplet; mult = 6.0 } };
+    ]

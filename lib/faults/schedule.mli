@@ -1,0 +1,56 @@
+(** Typed fault schedules and their textual spec grammar.
+
+    A schedule is a list of fault events at virtual timestamps.  The spec
+    grammar accepted by {!parse} is a [';']- or newline-separated list of
+    entries ([#]-prefixed entries are comments):
+
+    {v
+    TIME_US:core-off:CORE        take CORE offline
+    TIME_US:core-on:CORE         bring CORE back
+    TIME_US:dvfs:CORE:SPEED      throttle CORE to SPEED x nominal (0 < s)
+    TIME_US:l3-ways:CHIPLET:WAYS degrade CHIPLET's L3 to WAYS enabled ways
+    TIME_US:link:CHIPLET:MULT    multiply CHIPLET's I/O-die link latency
+    TIME_US:xsocket:MULT         multiply cross-socket hop latency
+    TIME_US:membw:NODE:FACTOR    throttle NODE's memory bandwidth (0..1]
+    rand:SEED:N:HORIZON_US       N random events over [0, HORIZON_US)
+    v}
+
+    Parsing is deterministic, including the [rand] expansion (seeded
+    splitmix64), so the same spec over the same topology always yields the
+    same schedule. *)
+
+open Chipsim
+
+type kind =
+  | Core_off of int
+  | Core_on of int
+  | Dvfs of { core : int; speed : float }
+  | L3_ways of { chiplet : int; ways : int }  (** absolute enabled ways *)
+  | Link of { chiplet : int; mult : float }
+  | Xsocket of float
+  | Membw of { node : int; factor : float }
+
+type event = { at_ns : float; kind : kind }
+type t = event list
+
+val describe : kind -> string
+(** Short human-readable label (used for trace fault events). *)
+
+val sort : t -> t
+(** Stable sort by timestamp (same-instant events keep spec order). *)
+
+val to_spec : t -> string
+(** Render back to the spec grammar ([';']-separated, sorted);
+    [parse (to_spec t)] round-trips. *)
+
+val parse : topo:Topology.t -> string -> (t, string) result
+(** Parse a spec against a topology (targets are range-checked).  Returns
+    the sorted schedule or a human-readable error. *)
+
+val parse_exn : topo:Topology.t -> string -> t
+(** @raise Invalid_argument on malformed specs. *)
+
+val chiplet_meltdown : topo:Topology.t -> ?chiplet:int -> at_us:float -> unit -> t
+(** The benchmark scenario: at [at_us], [chiplet] (default 0) throttles to
+    0.35x DVFS on every core, loses all but 2 L3 ways and suffers a 6x
+    I/O-die link degradation — a compound "sick chiplet". *)

@@ -13,3 +13,15 @@ let decide cfg ~tenant_depth ~global_depth =
   if tenant_depth >= cfg.max_queue_per_tenant then Shed_tenant_full
   else if global_depth >= cfg.max_global_queue then Shed_server_full
   else Admit
+
+(* Degradation-aware bounds: queue limits exist to bound waiting time, so
+   when the machine can only deliver [capacity] of its nominal compute
+   (offline or DVFS-throttled cores), the same wait bound needs
+   proportionally shorter queues. *)
+let scale cfg ~capacity =
+  let capacity = Float.max 0.0 (Float.min 1.0 capacity) in
+  let s b = max 1 (int_of_float (Float.ceil (float_of_int b *. capacity))) in
+  {
+    max_queue_per_tenant = s cfg.max_queue_per_tenant;
+    max_global_queue = s cfg.max_global_queue;
+  }

@@ -27,3 +27,9 @@ val decision_name : decision -> string
 val decide : config -> tenant_depth:int -> global_depth:int -> decision
 (** Tenant bound is checked first, so a greedy tenant is shed on its own
     quota before it can push the server into global shedding. *)
+
+val scale : config -> capacity:float -> config
+(** Shrink both bounds to [capacity] (clamped to [\[0, 1\]]) of their
+    nominal values, rounding up and never below 1 — so a machine running
+    at half its compute capacity (faults, throttling) sheds load early
+    instead of letting queues grow past what it can drain in time. *)

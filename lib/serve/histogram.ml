@@ -21,10 +21,21 @@ let create ?(min_value = 1.0) ?(growth = 1.12) () =
     max_v = neg_infinity;
   }
 
+(* Hard cap on the bucket index: [int_of_float] on the huge (or infinite)
+   result of the log formula is unspecified, and a single absurd sample
+   must not allocate an unbounded counts array.  With growth 1.12 bucket
+   4096 already covers > 10^201 x min_value, so nothing real clamps. *)
+let max_bucket = 4096
+
 (* bucket 0 = (-inf, min_value]; bucket i>0 = (min_value*g^(i-1), min_value*g^i] *)
 let bucket_of t v =
-  if v <= t.min_value then 0
-  else 1 + int_of_float (Float.floor (log (v /. t.min_value) /. t.log_growth))
+  if Float.is_nan v then 0
+  else if v <= t.min_value then 0
+  else if v >= t.min_value *. (t.growth ** float_of_int max_bucket) then
+    max_bucket
+  else
+    min max_bucket
+      (1 + int_of_float (Float.floor (log (v /. t.min_value) /. t.log_growth)))
 
 let bucket_upper t i =
   if i = 0 then t.min_value else t.min_value *. (t.growth ** float_of_int i)
@@ -66,6 +77,7 @@ let quantile t q =
 let p50 t = quantile t 0.50
 let p95 t = quantile t 0.95
 let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
 
 let merge dst src =
   if dst.min_value <> src.min_value || dst.growth <> src.growth then

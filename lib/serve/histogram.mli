@@ -15,7 +15,10 @@ val create : ?min_value:float -> ?growth:float -> unit -> t
     @raise Invalid_argument if [min_value <= 0.] or [growth <= 1.]. *)
 
 val observe : t -> float -> unit
-(** Record one sample (negative samples count into the first bucket). *)
+(** Record one sample.  Negative and NaN samples count into the first
+    bucket; astronomically large (or infinite) samples clamp into a fixed
+    top bucket, so a single absurd value can neither overflow the bucket
+    computation nor allocate an unbounded counts array. *)
 
 val count : t -> int
 val sum : t -> float
@@ -34,6 +37,9 @@ val quantile : t -> float -> float
 val p50 : t -> float
 val p95 : t -> float
 val p99 : t -> float
+
+val p999 : t -> float
+(** The 99.9th percentile — the serving-tail metric SLO reports quote. *)
 
 val merge : t -> t -> unit
 (** [merge dst src] adds [src]'s samples into [dst].

@@ -74,6 +74,7 @@ let hist_json h =
       ("p50", json_float (Histogram.p50 h));
       ("p95", json_float (Histogram.p95 h));
       ("p99", json_float (Histogram.p99 h));
+      ("p999", json_float (Histogram.p999 h));
       ("max", json_float (if Histogram.count h = 0 then 0.0 else Histogram.max_value h));
     ]
 

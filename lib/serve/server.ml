@@ -20,6 +20,9 @@ type config = {
   seed : int;
   data : Job.data_config;
   trace : Engine.Trace.t option;
+  on_complete :
+    (tenant:string -> kind:Job.kind -> submit_ns:float -> finish_ns:float -> unit)
+      option;
 }
 
 let default_config ~seed =
@@ -57,6 +60,7 @@ let default_config ~seed =
     seed;
     data = Job.default_data_config;
     trace = None;
+    on_complete = None;
   }
 
 type tenant_report = {
@@ -129,6 +133,8 @@ let run inst cfg =
   let env = inst.Systems.env in
   let sched = env.Workloads.Exec_env.sched in
   let registry = Metrics.create () in
+  Metrics.set_gauge registry "serve.effective_capacity"
+    (Chipsim.Modifiers.online_capacity (Machine.modifiers inst.Systems.machine));
   let data = Job.prepare env cfg.data in
 
   (* tenant state, fair queue, admission *)
@@ -255,6 +261,11 @@ let run inst cfg =
       st.slo_violations <- st.slo_violations + 1;
       Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".slo_violations")
     end;
+    (match cfg.on_complete with
+    | Some f ->
+        f ~tenant:st.cfg_t.name ~kind:p.kind ~submit_ns:p.submit_ns
+          ~finish_ns:fin
+    | None -> ());
     Future.fulfill ctx p.done_f fin;
     pump ctx
   in
@@ -269,8 +280,17 @@ let run inst cfg =
     let job_id = !next_job_id in
     incr next_job_id;
     Metrics.incr registry "serve.submitted";
+    (* degradation-aware admission: queue bounds shrink with the machine's
+       effective compute capacity (offline / DVFS-throttled cores), so a
+       faulted machine sheds early instead of queueing work it cannot
+       drain within the wait bound *)
+    let capacity =
+      Chipsim.Modifiers.online_capacity (Machine.modifiers inst.Systems.machine)
+    in
+    Metrics.set_gauge registry "serve.effective_capacity" capacity;
     let decision =
-      Admission.decide cfg.admission
+      Admission.decide
+        (Admission.scale cfg.admission ~capacity)
         ~tenant_depth:(Fair_queue.tenant_depth fq ~tenant:st.idx)
         ~global_depth:(Fair_queue.length fq)
     in
@@ -432,9 +452,22 @@ let report_to_json r =
         ("queue_wait_ns", Metrics.json_of_histogram tr.queue_wait);
       ]
   in
+  let admission =
+    obj
+      [
+        ( "submitted",
+          string_of_int (Metrics.counter_value r.registry "serve.submitted") );
+        ( "admitted",
+          string_of_int (Metrics.counter_value r.registry "serve.admitted") );
+        ("shed", string_of_int (Metrics.counter_value r.registry "serve.shed"));
+        ( "effective_capacity",
+          f (Metrics.gauge_value r.registry "serve.effective_capacity") );
+      ]
+  in
   obj
     [
       ("makespan_ns", f r.makespan_ns);
+      ("admission", admission);
       ("fills", fills);
       ( "tenants",
         "[" ^ String.concat "," (List.map tenant r.tenant_reports) ^ "]" );

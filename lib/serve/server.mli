@@ -33,6 +33,9 @@ type tenant_config = {
 type config = {
   tenants : tenant_config list;
   admission : Admission.config;
+      (** nominal bounds; at each arrival they are scaled by the machine's
+          current {!Chipsim.Modifiers.online_capacity}, so core-offline or
+          DVFS faults shrink the queues and shed load early *)
   max_inflight : int;  (** concurrent jobs in service *)
   seed : int;
   data : Job.data_config;
@@ -42,6 +45,13 @@ type config = {
           memory-manager events under CHARM), job lifecycle instants
           (admit/shed/start/finish) and a periodic machine-wide fill-class
           counter track sampled every 50 us of virtual time *)
+  on_complete :
+    (tenant:string -> kind:Job.kind -> submit_ns:float -> finish_ns:float -> unit)
+      option;
+      (** called at every job completion with its arrival and finish
+          virtual timestamps — lets experiment drivers (the fault bench)
+          window latencies over the run without relying on the bounded
+          trace ring *)
 }
 
 val default_config : seed:int -> config

@@ -31,4 +31,5 @@ let () =
       ("olap", Test_olap.suite);
       ("oltp", Test_oltp.suite);
       ("serve", Test_serve.suite);
+      ("faults", Test_faults.suite);
     ]

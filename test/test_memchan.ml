@@ -47,6 +47,45 @@ let test_bytes_served () =
   Memchan.reset c;
   Alcotest.(check int) "reset" 0 (Memchan.bytes_served c ~node:1)
 
+let test_ring_wraparound_alias () =
+  (* a tiny 4-slot ring so bin 4 recycles bin 0's slot: a lagging access
+     back in bin 0 must neither corrupt the newer bin's demand history
+     (the old aliasing bug zeroed it) nor go uncounted in the totals *)
+  let c =
+    Memchan.create ~bin_ns:100.0 ~slots:4 ~nodes:1 ~channels_per_node:2
+      ~bytes_per_ns_per_channel:1.0 ~line_bytes:64 ()
+  in
+  for _ = 1 to 10 do
+    ignore (Memchan.access_ns c ~node:0 ~now_ns:450.0 ~base_ns:100.0)
+  done;
+  let load_before = Memchan.load_ratio c ~node:0 ~now_ns:450.0 in
+  (* lagging worker touches bin 0, whose slot now holds bin 4 *)
+  ignore (Memchan.access_ns c ~node:0 ~now_ns:50.0 ~base_ns:100.0);
+  Alcotest.(check int) "stale access counted" 1 (Memchan.stale_accesses c);
+  Alcotest.(check (float 1e-9)) "newer bin's demand intact" load_before
+    (Memchan.load_ratio c ~node:0 ~now_ns:450.0);
+  Alcotest.(check int) "totals include the stale access" (11 * 64)
+    (Memchan.bytes_served c ~node:0)
+
+let test_capacity_factor_throttles () =
+  let c = chan () in
+  let healthy = Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0 in
+  Memchan.reset c;
+  Memchan.set_capacity_factor c ~node:0 0.1;
+  (* same demand against a tenth of the bandwidth saturates *)
+  let throttled = ref 0.0 in
+  for _ = 1 to 40 do
+    throttled := Memchan.access_ns c ~node:0 ~now_ns:0.0 ~base_ns:100.0
+  done;
+  Alcotest.(check bool) "throttled node is slower" true
+    (!throttled > 2.0 *. healthy);
+  Alcotest.(check (float 1e-9)) "factor clamped below" 0.01
+    (Memchan.set_capacity_factor c ~node:0 0.0;
+     Memchan.capacity_factor c ~node:0);
+  Alcotest.(check (float 1e-9)) "factor clamped above" 1.0
+    (Memchan.set_capacity_factor c ~node:0 5.0;
+     Memchan.capacity_factor c ~node:0)
+
 let test_bad_node () =
   let c = chan () in
   Alcotest.check_raises "node range" (Invalid_argument "Memchan: node out of range")
@@ -59,5 +98,8 @@ let suite =
     Alcotest.test_case "nodes independent" `Quick test_nodes_independent;
     Alcotest.test_case "bins roll over" `Quick test_bins_roll;
     Alcotest.test_case "bytes served" `Quick test_bytes_served;
+    Alcotest.test_case "ring wraparound alias" `Quick test_ring_wraparound_alias;
+    Alcotest.test_case "capacity factor throttles" `Quick
+      test_capacity_factor_throttles;
     Alcotest.test_case "bad node" `Quick test_bad_node;
   ]

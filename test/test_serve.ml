@@ -74,7 +74,42 @@ let test_histogram_merge () =
     (Invalid_argument "Histogram.merge: incompatible bucket parameters")
     (fun () -> Histogram.merge a (Histogram.create ~growth:2.0 ()))
 
+let test_histogram_p999 () =
+  let h = Histogram.create () in
+  for v = 1 to 10_000 do
+    Histogram.observe h (float_of_int v)
+  done;
+  Alcotest.(check bool) "p999 above p99" true
+    (Histogram.p999 h >= Histogram.p99 h);
+  (* bucket growth 12% bounds the relative error *)
+  Alcotest.(check bool) "p999 near 9990" true
+    (Histogram.p999 h > 0.85 *. 9990.0 && Histogram.p999 h < 1.15 *. 9990.0)
+
+let test_histogram_absurd_samples () =
+  let h = Histogram.create () in
+  Histogram.observe h 10.0;
+  (* a single absurd sample must neither allocate an unbounded counts
+     array nor wedge the quantile scan *)
+  Histogram.observe h infinity;
+  Histogram.observe h Float.nan;
+  Histogram.observe h (-5.0);
+  Alcotest.(check int) "all samples counted" 4 (Histogram.count h);
+  Alcotest.(check bool) "median still finite" true
+    (Float.is_finite (Histogram.p50 h));
+  Alcotest.(check bool) "p999 lands in overflow bucket" true
+    (Float.is_finite (Histogram.p999 h))
+
 (* -- admission --------------------------------------------------------- *)
+
+let test_admission_scaling () =
+  let cfg = { Admission.max_queue_per_tenant = 10; max_global_queue = 40 } in
+  let scaled = Admission.scale cfg ~capacity:0.5 in
+  Alcotest.(check int) "tenant bound halved" 5 scaled.Admission.max_queue_per_tenant;
+  Alcotest.(check int) "global bound halved" 20 scaled.Admission.max_global_queue;
+  let floor = Admission.scale cfg ~capacity:0.0 in
+  Alcotest.(check int) "never below one slot" 1 floor.Admission.max_queue_per_tenant;
+  let full = Admission.scale cfg ~capacity:1.0 in
+  Alcotest.(check bool) "full capacity unchanged" true (full = cfg)
 
 let test_admission_bounds () =
   let cfg = { Admission.max_queue_per_tenant = 4; max_global_queue = 6 } in
@@ -200,6 +235,10 @@ let suite =
     Alcotest.test_case "poisson shape" `Quick test_poisson_shape;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram p999" `Quick test_histogram_p999;
+    Alcotest.test_case "histogram absurd samples" `Quick
+      test_histogram_absurd_samples;
+    Alcotest.test_case "admission scaling" `Quick test_admission_scaling;
     Alcotest.test_case "admission bounds" `Quick test_admission_bounds;
     Alcotest.test_case "server sheds at bound" `Quick test_server_sheds_at_bound;
     Alcotest.test_case "fair queue weights" `Quick test_fair_queue_weights;
