@@ -118,8 +118,10 @@ let load_fault_spec spec =
   else spec
 
 let main sys machine workers cache_scale workload graph_scale query seed
-    trace_file fault_spec =
+    trace_file fault_spec check =
   let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+  if check then
+    Engine.Sched.set_check inst.Sys_.env.Workloads.Exec_env.sched true;
   (match fault_spec with
   | Some spec -> (
       let topo = Chipsim.Machine.topology inst.Sys_.machine in
@@ -149,7 +151,11 @@ let main sys machine workers cache_scale workload graph_scale query seed
     (Sys_.sys_name sys)
     (Format.asprintf "%a" Chipsim.Topology.pp (Chipsim.Machine.topology inst.Sys_.machine))
     workers cache_scale;
-  run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed;
+  (match run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed with
+  | () -> ()
+  | exception Chipsim.Invariant.Violation msg ->
+      Printf.eprintf "charm_run: INVARIANT VIOLATION: %s\n" msg;
+      exit 3);
   match (trace, trace_file) with
   | Some tr, Some file ->
       Engine.Trace.save tr file;
@@ -211,6 +217,18 @@ let faults_arg =
            membw:NODE:FACTOR — plus rand:SEED:N:HORIZON_US for seeded \
            random events.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run with executable invariants on: every quantum asserts \
+           scheduler causality (no task before its ready time, offline \
+           cores idle, per-core quantum ordering) and the machine model's \
+           conservation laws (fill-class counts sum to total accesses, \
+           memory-channel ring byte conservation, L3 way bounds). A \
+           violation aborts with exit code 3.")
+
 let cmd =
   let doc = "run a workload on the simulated chiplet machine under a runtime system" in
   Cmd.v
@@ -218,6 +236,6 @@ let cmd =
     Term.(
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
       $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg $ trace_arg
-      $ faults_arg)
+      $ faults_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -72,7 +72,7 @@ let load_fault_spec spec =
 
 let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
     slo_factor closed_loop think_us tenant_specs graph_scale trace_file
-    fault_spec =
+    fault_spec check =
   if closed_loop = None && rate <= 0.0 then begin
     Printf.eprintf "charm_serve: --rate must be positive\n";
     exit 2
@@ -104,6 +104,7 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
       data = { Serve.Job.default_data_config with graph_scale; seed = seed + 1 };
       trace;
       on_complete = None;
+      check;
     }
   in
   match
@@ -138,6 +139,9 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
          error, not a crash *)
       Printf.eprintf "charm_serve: %s\n" msg;
       exit 2
+  | exception Chipsim.Invariant.Violation msg ->
+      Printf.eprintf "charm_serve: INVARIANT VIOLATION: %s\n" msg;
+      exit 3
 
 let tenant_conv = Arg.conv (parse_tenant, fun ppf (n, w, _) -> Format.fprintf ppf "%s:%g" n w)
 
@@ -206,6 +210,16 @@ let faults_arg =
            membw:NODE:FACTOR — plus rand:SEED:N:HORIZON_US for seeded \
            random events. Same seed and spec give a byte-identical report.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run with executable invariants on: scheduler causality and \
+           per-core quantum ordering, machine fill-class conservation, and \
+           serving-layer admission/completion conservation. A violation \
+           aborts with exit code 3.")
+
 let cmd =
   let doc = "serve a multi-tenant job mix online on the simulated chiplet machine" in
   Cmd.v
@@ -214,6 +228,6 @@ let cmd =
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
-      $ trace_arg $ faults_arg)
+      $ trace_arg $ faults_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,91 @@
+type outcome =
+  | Clean of { scenarios : int }
+  | Failed of {
+      seed : int;
+      original : Scenario.t;
+      original_failure : Scenario.failure;
+      minimized : Scenario.t;
+      failure : Scenario.failure;
+      shrink_steps : int;
+      repro : string;
+    }
+
+let minimize ?(budget = 80) scenario failure =
+  let current = ref scenario in
+  let cur_fail = ref failure in
+  let tried = ref 0 in
+  let steps = ref 0 in
+  let progress = ref true in
+  while !progress && !tried < budget do
+    progress := false;
+    (* restart from the first still-failing candidate: candidates are
+       ordered most-aggressive-first, so accepted steps shrink fast *)
+    (try
+       List.iter
+         (fun cand ->
+           if !tried < budget then begin
+             incr tried;
+             match Scenario.check cand with
+             | Some f ->
+                 current := cand;
+                 cur_fail := f;
+                 incr steps;
+                 progress := true;
+                 raise Exit
+             | None -> ()
+           end)
+         (Scenario.shrink !current)
+     with Exit -> ())
+  done;
+  (!current, !cur_fail, !steps)
+
+let run ?(log = fun _ -> ()) ~mode ~start_seed ~seeds () =
+  let rec go i =
+    if i >= seeds then Clean { scenarios = seeds }
+    else begin
+      let seed = start_seed + i in
+      let scenario = Scenario.generate ~mode ~seed in
+      log
+        (Printf.sprintf "[%d/%d] %s" (i + 1) seeds (Scenario.describe scenario));
+      match Scenario.check scenario with
+      | None -> go (i + 1)
+      | Some failure ->
+          log
+            (Printf.sprintf "FAIL oracle=%s: %s" failure.Scenario.oracle
+               failure.Scenario.detail);
+          log "shrinking...";
+          let minimized, min_fail, shrink_steps = minimize scenario failure in
+          log (Printf.sprintf "minimized in %d steps: %s" shrink_steps
+                 (Scenario.describe minimized));
+          Failed
+            {
+              seed;
+              original = scenario;
+              original_failure = failure;
+              minimized;
+              failure = min_fail;
+              shrink_steps;
+              repro = Scenario.to_repro minimized;
+            }
+    end
+  in
+  go 0
+
+let outcome_to_text = function
+  | Clean { scenarios } ->
+      Printf.sprintf "fuzz: %d scenarios, all oracles passed\n" scenarios
+  | Failed f ->
+      String.concat ""
+        [
+          Printf.sprintf "fuzz: FAILURE at seed %d\n" f.seed;
+          Printf.sprintf "original:  %s\n" (Scenario.describe f.original);
+          Printf.sprintf "           oracle=%s: %s\n"
+            f.original_failure.Scenario.oracle f.original_failure.Scenario.detail;
+          Printf.sprintf "minimized: %s (%d shrink steps, %d fault events)\n"
+            (Scenario.describe f.minimized)
+            f.shrink_steps
+            (List.length f.minimized.Scenario.faults);
+          Printf.sprintf "           oracle=%s: %s\n" f.failure.Scenario.oracle
+            f.failure.Scenario.detail;
+          Printf.sprintf "repro:     %s\n" f.repro;
+        ]

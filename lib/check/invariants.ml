@@ -1,0 +1,47 @@
+let sched inst = inst.Harness.Systems.env.Workloads.Exec_env.sched
+let enable inst = Engine.Sched.set_check (sched inst) true
+let enabled inst = Engine.Sched.check_enabled (sched inst)
+
+let verify inst =
+  Engine.Sched.check_quiescent (sched inst);
+  Chipsim.Machine.check_invariants_full inst.Harness.Systems.machine
+
+let catalog =
+  [
+    ( "sched.ready-at",
+      "no quantum starts before the task's ready_at (futures, barriers and \
+       spawn continuations never run early)" );
+    ( "sched.offline-idle",
+      "a worker whose core is offline (hotplug fault) never executes a \
+       quantum, and dormant workers stay dormant" );
+    ( "sched.core-ordering",
+      "per core, quanta do not overlap in virtual time while the core \
+       keeps the same occupant worker" );
+    ( "sched.clock-monotonic",
+      "each worker's virtual clock is finite and never moves backwards \
+       across a quantum" );
+    ( "sched.work-conservation",
+      "the runnable-task counter equals the total queued work across all \
+       deques at every quantum boundary, and every deque is empty once no \
+       task is live" );
+    ( "machine.fill-conservation",
+      "PMU fill-class counts (L2 / local L3 / remote-chiplet / remote-NUMA \
+       / local DRAM / remote DRAM) sum to exactly the number of simulated \
+       accesses" );
+    ( "machine.l3-ways",
+      "every chiplet's effective L3 ways stay within [1, configured ways] \
+       under way-masking faults" );
+    ( "memchan.ring-conservation",
+      "per memory node, live time-bin bytes never exceed the node's total \
+       accounted bytes, bins are line-aligned and slot ids map back to \
+       their own bins (no aliasing)" );
+    ( "serve.arrival-conservation",
+      "per tenant and globally, submitted = admitted + shed at every \
+       arrival and in the final report" );
+    ( "serve.completion",
+      "every admitted job completes, is sampled in exactly one latency and \
+       one queue-wait histogram, and the fair queue drains" );
+    ( "serve.registry-agreement",
+      "the metrics registry's global counters equal the sums of the \
+       per-tenant ledgers" );
+  ]

@@ -1,0 +1,76 @@
+(** Seeded end-to-end scenarios for the fuzzing harness.
+
+    A scenario is a complete, CLI-expressible experiment: a system, a
+    preset machine, a worker count, an optional fault schedule (drawn
+    through the {!Faults.Schedule} spec grammar so it renders back to a
+    [--faults] string) and either a batch workload or a multi-tenant
+    serving mix.  {!generate} draws one deterministically from a seed
+    (qcheck-core generators over {!Harness.Systems.topology} bounds);
+    {!check} runs it with invariants on and applies the oracles;
+    {!shrink} proposes strictly simpler variants; {!to_repro} prints the
+    ready-to-paste [charm_run]/[charm_serve] command line. *)
+
+type batch_workload = Bfs | Pagerank | Tpch of int | Gups
+
+type tenant = {
+  tname : string;
+  tweight : float;
+  tkinds : Serving.Job.kind list;
+}
+
+type serve_params = {
+  rate_per_s : float;
+  jobs : int;  (** per tenant *)
+  max_inflight : int;
+  queue_bound : int;
+  serve_graph_scale : int;
+  tenants : tenant list;
+}
+
+type kind =
+  | Batch of { workload : batch_workload; graph_scale : int }
+  | Serve of serve_params
+
+type t = {
+  seed : int;
+  sys : Harness.Systems.sys;
+  machine : Harness.Systems.machine_kind;
+  cache_scale : int;
+  workers : int;
+  faults : Faults.Schedule.t;
+  kind : kind;
+}
+
+type mode = Smoke | Deep
+(** [Smoke] draws small scenarios (CI gate); [Deep] widens every range
+    (nightly fuzz). *)
+
+val generate : mode:mode -> seed:int -> t
+(** Deterministic: same [mode] and [seed] always yield the same scenario. *)
+
+type failure = {
+  oracle : string;
+      (** ["invariant"], ["determinism/report"], ["determinism/trace"],
+          ["reference/..."] or ["crash"] *)
+  detail : string;
+}
+
+val check : t -> failure option
+(** Run the scenario end-to-end with invariants on and apply the oracles:
+    two fresh runs must produce byte-identical reports, traces and
+    functional digests, and batch functional results must match a
+    sequential / single-worker reference.  [None] means every oracle
+    passed. *)
+
+val shrink : t -> t list
+(** Strictly simpler candidate scenarios, most aggressive first (drop the
+    fault schedule, halve it, drop single events, reduce workers, shrink
+    the workload, collapse tenants, then normalise machine / system /
+    cache scale).  Every candidate differs from [t]. *)
+
+val describe : t -> string
+(** One-line summary for fuzzer progress output. *)
+
+val to_repro : t -> string
+(** The [charm_run] / [charm_serve] invocation (with [--check] and
+    [--faults]) that replays this scenario outside the fuzzer. *)

@@ -1,0 +1,4 @@
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+let require cond msg = if not cond then raise (Violation msg)

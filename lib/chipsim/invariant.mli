@@ -1,0 +1,21 @@
+(** The shared invariant-violation exception for executable runtime checks.
+
+    Every layer of the stack (machine model, scheduler, serving loop)
+    validates its own invariants when checking is enabled; all of them
+    report through this one exception so harnesses — the scenario fuzzer,
+    [--check] CLI runs, CI — can catch "any invariant broke anywhere" in a
+    single place.  It lives in [chipsim] only because that is the bottom
+    of the dependency order. *)
+
+exception Violation of string
+(** [Violation "subsystem: what"] — the invariant that failed, with enough
+    context to reproduce. *)
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Violation} with the formatted message.  Call
+    sites guard with [if] so the message is only built on failure — checks
+    on hot paths must not allocate when the invariant holds. *)
+
+val require : bool -> string -> unit
+(** [require cond msg] raises [Violation msg] unless [cond].  Only for
+    cold paths: [msg] is built eagerly. *)

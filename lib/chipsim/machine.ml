@@ -13,6 +13,10 @@ type t = {
       (* per-core accumulated memory-access latency: the "latency PMU"
          the health monitor divides by the fill-event count to get a
          clean ns/access signal, unaffected by compute time *)
+  mutable accesses : int;
+      (* total access_line calls ever — every one must be classified into
+         exactly one PMU fill-source counter, which check_invariants
+         verifies *)
 }
 
 let create ?(profile = Latency.default_profile) topo =
@@ -42,6 +46,7 @@ let create ?(profile = Latency.default_profile) topo =
     pmu = Pmu.create ~cores;
     mods = Modifiers.create ~cores ~chiplets ~nodes:topo.Topology.sockets;
     mem_ns = Array.make cores 0.0;
+    accesses = 0;
   }
 
 let topology t = t.topo
@@ -69,6 +74,7 @@ let alloc t ?policy ~elt_bytes ~count () =
   Simmem.alloc t.mem ?policy ~elt_bytes ~count ()
 
 let access_line t ~core ~now_ns ~write ~line =
+  t.accesses <- t.accesses + 1;
   let topo = t.topo and p = t.profile in
   let chiplet = Topology.chiplet_of_core topo core in
   let socket = Topology.socket_of_core topo core in
@@ -209,9 +215,47 @@ let flush_caches t =
   Memchan.reset t.links
 
 let mem_ns t ~core = t.mem_ns.(core)
+let accesses t = t.accesses
+
+(* Cheap structural checks, suitable for calling every few quanta from the
+   scheduler when checking is on: O(cores) PMU sums + O(chiplets) bounds. *)
+let check_invariants t =
+  let fills =
+    Pmu.total t.pmu Pmu.L2_hit
+    + Pmu.total t.pmu Pmu.L3_local_hit
+    + Pmu.total t.pmu Pmu.Fill_remote_chiplet
+    + Pmu.total t.pmu Pmu.Fill_remote_numa
+    + Pmu.total t.pmu Pmu.Dram_local
+    + Pmu.total t.pmu Pmu.Dram_remote
+  in
+  if fills <> t.accesses then
+    Invariant.fail
+      "machine: fill-class counts sum to %d but %d accesses were simulated"
+      fills t.accesses;
+  Array.iteri
+    (fun chiplet l3 ->
+      let eff = Cache.effective_ways l3 in
+      if eff < 1 || eff > Cache.ways l3 then
+        Invariant.fail
+          "machine: chiplet %d L3 has %d effective ways outside [1, %d]"
+          chiplet eff (Cache.ways l3))
+    t.l3;
+  Array.iteri
+    (fun core ns ->
+      if not (Float.is_finite ns) || ns < 0.0 then
+        Invariant.fail "machine: core %d memory-latency meter is %g" core ns)
+    t.mem_ns
+
+(* Adds the O(nodes * slots) memory-channel ring scans — end-of-run /
+   fuzzer verification. *)
+let check_invariants_full t =
+  check_invariants t;
+  Memchan.check_invariants t.chan;
+  Memchan.check_invariants t.links
 
 let reset t =
   flush_caches t;
   Simmem.reset t.mem;
   Pmu.reset t.pmu;
-  Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0
+  Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0;
+  t.accesses <- 0

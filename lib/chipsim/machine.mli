@@ -68,6 +68,25 @@ val mem_ns : t -> core:int -> float
     directly while compute time and scheduling delays leave it untouched;
     {!Core.Health_monitor} feeds on exactly that ratio. *)
 
+val accesses : t -> int
+(** Total simulated accesses ({!access_line} calls) since creation or
+    {!reset}.  Every one is classified into exactly one PMU fill-source
+    counter — the conservation law {!check_invariants} verifies. *)
+
+val check_invariants : t -> unit
+(** Cheap structural checks (O(cores) + O(chiplets)): the six fill-source
+    PMU counters sum to {!accesses}, every chiplet's effective L3 ways lie
+    in [1, ways] under {!Modifiers} degradation, and the per-core latency
+    meters are finite and non-negative.  Cheap enough to run every few
+    quanta when [~check:true] scheduling is on.
+    @raise Invariant.Violation describing the first broken invariant. *)
+
+val check_invariants_full : t -> unit
+(** {!check_invariants} plus the O(nodes x slots) {!Memchan} ring scans of
+    the DRAM channels and the chiplet I/O-die links — end-of-run and
+    fuzzer verification.
+    @raise Invariant.Violation describing the first broken invariant. *)
+
 val flush_caches : t -> unit
 (** Drop all cached state (caches, directory, channel history) but keep
     page placements and PMU counters. *)

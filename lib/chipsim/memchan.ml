@@ -103,3 +103,46 @@ let reset t =
   Array.fill t.bin_bytes 0 (Array.length t.bin_bytes) 0;
   Array.fill t.total_bytes 0 (Array.length t.total_bytes) 0;
   t.stale_accesses <- 0
+
+(* Full O(nodes * slots) scan — for tests, end-of-run verification and the
+   scenario fuzzer, not the per-access hot path. *)
+let check_invariants t =
+  if t.stale_accesses < 0 then
+    Invariant.fail "memchan: negative stale-access count %d" t.stale_accesses;
+  for node = 0 to t.nodes - 1 do
+    let cf = t.cap_factor.(node) in
+    if cf < 0.01 -. 1e-12 || cf > 1.0 +. 1e-12 then
+      Invariant.fail "memchan: node %d capacity factor %g outside [0.01, 1]"
+        node cf;
+    if t.total_bytes.(node) < 0 then
+      Invariant.fail "memchan: node %d negative byte total %d" node
+        t.total_bytes.(node);
+    if t.total_bytes.(node) mod t.line_bytes <> 0 then
+      Invariant.fail
+        "memchan: node %d byte total %d not a multiple of the %d-byte line"
+        node t.total_bytes.(node) t.line_bytes;
+    (* ring conservation: live bins hold at most what was ever served (the
+       difference is bins whose slots were since recycled), and a slot is
+       populated iff it holds a bin *)
+    let live = ref 0 in
+    for s = node * t.ring to ((node + 1) * t.ring) - 1 do
+      let id = t.bin_ids.(s) and bytes = t.bin_bytes.(s) in
+      if bytes < 0 then
+        Invariant.fail "memchan: node %d slot %d negative demand %d" node s
+          bytes;
+      if id = -1 && bytes <> 0 then
+        Invariant.fail "memchan: node %d slot %d holds %d bytes but no bin"
+          node s bytes;
+      if id >= 0 && bytes = 0 then
+        Invariant.fail "memchan: node %d slot %d holds bin %d with no bytes"
+          node s id;
+      if id >= 0 && slot t node id <> s then
+        Invariant.fail "memchan: node %d slot %d holds bin %d that maps to slot %d"
+          node s id (slot t node id);
+      live := !live + bytes
+    done;
+    if !live > t.total_bytes.(node) then
+      Invariant.fail
+        "memchan: node %d ring holds %d bytes but only %d were ever served"
+        node !live t.total_bytes.(node)
+  done

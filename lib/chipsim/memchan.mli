@@ -55,3 +55,12 @@ val stale_accesses : t -> int
 val reset : t -> unit
 (** Clears demand history and byte totals; capacity throttling persists
     (a cache flush does not heal a hardware fault). *)
+
+val check_invariants : t -> unit
+(** Verify the channel's structural invariants: ring byte conservation
+    (live bin demand never exceeds the bytes ever served, slots are
+    populated iff they hold a bin, bin ids map back to their slot),
+    non-negative counters, byte totals that are whole lines, and capacity
+    factors inside the clamped range.  O(nodes x slots) — meant for tests,
+    end-of-run verification and the scenario fuzzer, not per access.
+    @raise Invariant.Violation describing the first broken invariant. *)

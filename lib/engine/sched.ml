@@ -13,6 +13,7 @@ type config = {
   idle_quantum_ns : float;
   migration_cost_ns : float;
   steal_horizon_ns : float;
+  check : bool;
 }
 
 let default_config =
@@ -23,11 +24,25 @@ let default_config =
     idle_quantum_ns = 400.0;
     migration_cost_ns = 1500.0;
     steal_horizon_ns = 1_000.0;
+    check = false;
   }
+
+(* Deliberately plantable bugs, enabled by CHARM_CHECK_PLANT, that the
+   invariant layer must catch — CI proves the checker detects and the
+   fuzzer shrinks them.  Read lazily so a harness can Unix.putenv before
+   the first quantum runs. *)
+let planted_skip_ready_clamp =
+  lazy (Sys.getenv_opt "CHARM_CHECK_PLANT" = Some "skip-ready-clamp")
 
 type t = {
   machine : Machine.t;
   config : config;
+  mutable check : bool;  (* executable invariants on every quantum *)
+  mutable check_tick : int;  (* quanta since the last periodic machine check *)
+  core_last_end : float array;
+      (* per core: virtual end of the last quantum it executed, and the
+         worker that ran it — the per-core non-overlap invariant *)
+  core_last_worker : int array;
   mutable hooks : hooks;
   mutable trace : Trace.t option;
   mutable on_advance : (float -> unit) option;
@@ -198,6 +213,10 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
   {
     machine;
     config;
+    check = config.check;
+    check_tick = 0;
+    core_last_end = Array.make cores neg_infinity;
+    core_last_worker = Array.make cores (-1);
     hooks;
     trace = None;
     on_advance = None;
@@ -221,6 +240,8 @@ let set_hooks t hooks = t.hooks <- hooks
 let hooks t = t.hooks
 let set_trace t trace = t.trace <- trace
 let trace t = t.trace
+let set_check t on = t.check <- on
+let check_enabled t = t.check
 let set_on_advance t f = t.on_advance <- f
 let worker_core t w = t.workers.(w).core
 let worker_clock t w = t.workers.(w).clock
@@ -452,8 +473,76 @@ let next_task t w =
           Some task
       | None -> None)
 
+(* -- executable invariants (config.check / set_check) --------------------
+
+   Each check is a cheap assertion over state the scheduler already has in
+   hand; together they pin down the properties every perf PR must
+   preserve: causality (no task before its ready time), per-core quantum
+   ordering, offline cores staying idle, and work conservation. *)
+
+(* Every task accounted runnable sits in exactly one deque.  O(workers),
+   so it runs on the periodic tick, not every quantum. *)
+let check_work_conservation t =
+  let queued =
+    Array.fold_left (fun acc w -> acc + Wsqueue.length w.queue) 0 t.workers
+  in
+  if queued <> t.runnable then
+    Invariant.fail "sched: %d tasks queued but %d accounted runnable" queued
+      t.runnable
+
+let machine_check_period = 64
+
+let check_quantum_start t w task =
+  if w.offlined then
+    Invariant.fail "sched: dormant worker %d executing task %d" w.wid task.tid;
+  if not (Modifiers.core_online (Machine.modifiers t.machine) w.core) then
+    Invariant.fail "sched: worker %d executing task %d on offline core %d"
+      w.wid task.tid w.core;
+  if w.clock < task.ready_at then
+    Invariant.fail
+      "sched: task %d starts at %.3f ns, before its ready time %.3f ns (worker %d)"
+      task.tid w.clock task.ready_at w.wid
+
+let check_quantum_end t w task ~quantum_start =
+  if not (Float.is_finite w.clock) || w.clock < quantum_start then
+    Invariant.fail
+      "sched: worker %d clock went from %.3f to %.3f ns across task %d's quantum"
+      w.wid quantum_start w.clock task.tid;
+  (* Per-core non-overlap: consecutive quanta on one core must not overlap
+     in virtual time while the core keeps the same occupant.  After a
+     hand-over (migration / hotplug) the new worker's clock is independent
+     of the previous occupant's, so a fresh baseline is recorded. *)
+  if
+    t.core_last_worker.(w.core) = w.wid
+    && quantum_start < t.core_last_end.(w.core) -. 1e-9
+  then
+    Invariant.fail
+      "sched: core %d quantum [%.3f, %.3f] overlaps the previous one ending at %.3f"
+      w.core quantum_start w.clock t.core_last_end.(w.core);
+  t.core_last_worker.(w.core) <- w.wid;
+  t.core_last_end.(w.core) <- w.clock;
+  t.check_tick <- t.check_tick + 1;
+  if t.check_tick >= machine_check_period then begin
+    t.check_tick <- 0;
+    Machine.check_invariants t.machine;
+    check_work_conservation t
+  end
+
+let check_quiescent t =
+  check_work_conservation t;
+  Array.iter
+    (fun w ->
+      if t.live = 0 && not (Wsqueue.is_empty w.queue) then
+        Invariant.fail
+          "sched: no live tasks but worker %d still queues %d of them" w.wid
+          (Wsqueue.length w.queue))
+    t.workers;
+  Machine.check_invariants_full t.machine
+
 let execute t w task =
-  if task.ready_at > w.clock then w.clock <- task.ready_at;
+  if task.ready_at > w.clock && not (Lazy.force planted_skip_ready_clamp) then
+    w.clock <- task.ready_at;
+  if t.check then check_quantum_start t w task;
   (* the quantum starts here, after the ready-time clamp: idle waiting and
      steal latency before this point belong to no task *)
   let quantum_start = w.clock in
@@ -502,6 +591,7 @@ let execute t w task =
       Trace.task_quantum tr ~worker:w.wid ~core:w.core ~task_id:task.tid
         ~start_ns:quantum_start ~end_ns:w.clock
   | _ -> ());
+  if t.check then check_quantum_end t w task ~quantum_start;
   t.hooks.on_quantum_end t w.wid
 
 (* A core went offline.  Preference order: migrate its worker to the
@@ -617,6 +707,7 @@ let run t =
     end
   in
   loop ();
+  if t.check then check_quiescent t;
   Array.fold_left (fun acc w -> if w.did_work then Float.max acc w.busy_clock else acc) 0.0 t.workers
 
 module Ctx = struct

@@ -39,6 +39,10 @@ type config = {
           clock; tasks scheduled further out (timers, pending arrivals)
           stay with their owner so steals cannot drag a worker's clock
           into the far future *)
+  check : bool;
+      (** run the executable invariants on every quantum (see
+          {!set_check}); off by default — the hot loop then pays only one
+          predictable branch per quantum *)
 }
 
 val default_config : config
@@ -84,6 +88,31 @@ val set_trace : t -> Trace.t option -> unit
 
 val trace : t -> Trace.t option
 
+
+val set_check : t -> bool -> unit
+(** Enable (or disable) the executable invariant layer at runtime.  While
+    on, every quantum asserts: the task does not start before its
+    [ready_at] (causality), the executing worker is not dormant and its
+    core is online, the worker clock never runs backwards across a
+    quantum, and consecutive quanta on a core do not overlap in virtual
+    time while the core keeps the same occupant.  Every 64 quanta the
+    machine's conservation laws ({!Chipsim.Machine.check_invariants}) and
+    scheduler work conservation (every runnable task sits in exactly one
+    deque) are verified, and {!run} ends with a full quiescence check.
+    A violation raises {!Chipsim.Invariant.Violation}.
+
+    Overhead is a few comparisons per quantum plus the amortised periodic
+    sweeps — cheap enough to leave on in every perf experiment (< 2x on
+    the micro workloads, unmeasurable on memory-bound ones). *)
+
+val check_enabled : t -> bool
+
+val check_quiescent : t -> unit
+(** The end-of-run verification {!run} performs when checking is on: work
+    conservation, empty deques once no task is live, and the machine's
+    full conservation scan ({!Chipsim.Machine.check_invariants_full}).
+    Exposed so harnesses can verify externally-driven phases.
+    @raise Chipsim.Invariant.Violation on the first broken invariant. *)
 
 val set_on_advance : t -> (float -> unit) option -> unit
 (** Install a fault pump: called with the event-loop frontier (the

@@ -166,6 +166,16 @@ let parse_exn ~topo spec =
   | Ok t -> t
   | Error msg -> invalid_arg ("Faults.Schedule.parse: " ^ msg)
 
+let random ~topo ~seed ~n ~horizon_us =
+  match
+    sort
+      (expand_rand ~topo
+         (Printf.sprintf "rand:%d:%d:%g" seed n horizon_us)
+         ~seed ~n ~horizon_us)
+  with
+  | t -> t
+  | exception Parse_error msg -> invalid_arg ("Faults.Schedule.random: " ^ msg)
+
 (* -- presets ------------------------------------------------------------- *)
 
 (* The bench scenario: one chiplet's cores throttle hard, its L3 loses

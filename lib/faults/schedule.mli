@@ -50,6 +50,14 @@ val parse : topo:Topology.t -> string -> (t, string) result
 val parse_exn : topo:Topology.t -> string -> t
 (** @raise Invalid_argument on malformed specs. *)
 
+val random : topo:Topology.t -> seed:int -> n:int -> horizon_us:float -> t
+(** [random ~topo ~seed ~n ~horizon_us] is the schedule the spec entry
+    [rand:SEED:N:HORIZON_US] expands to: [n] machine-valid events drawn
+    deterministically (seeded splitmix64) over [\[0, horizon_us)], sorted.
+    The scenario fuzzer draws its fault schedules through this so every
+    generated schedule is expressible in the spec grammar.
+    @raise Invalid_argument if [n < 0] or [horizon_us <= 0]. *)
+
 val chiplet_meltdown : topo:Topology.t -> ?chiplet:int -> at_us:float -> unit -> t
 (** The benchmark scenario: at [at_us], [chiplet] (default 0) throttles to
     0.35x DVFS on every core, loses all but 2 L3 ways and suffers a 6x

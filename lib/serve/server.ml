@@ -23,6 +23,7 @@ type config = {
   on_complete :
     (tenant:string -> kind:Job.kind -> submit_ns:float -> finish_ns:float -> unit)
       option;
+  check : bool;
 }
 
 let default_config ~seed =
@@ -61,6 +62,7 @@ let default_config ~seed =
     data = Job.default_data_config;
     trace = None;
     on_complete = None;
+    check = false;
   }
 
 type tenant_report = {
@@ -128,10 +130,57 @@ let validate cfg =
         invalid_arg "Server.run: non-positive mix weight")
     cfg.tenants
 
+(* End-of-run conservation: arrivals all accounted, every admitted job
+   completed (the scheduler drained), histogram sample counts match the
+   jobs that produced them, and the registry's global counters agree with
+   the per-tenant ledgers. *)
+let check_report ~registry ~fq tenants =
+  let fail = Chipsim.Invariant.fail in
+  Array.iter
+    (fun st ->
+      let name = st.cfg_t.name in
+      if st.submitted <> st.admitted + st.shed then
+        fail "serve: tenant %s saw %d arrivals but admitted %d + shed %d" name
+          st.submitted st.admitted st.shed;
+      if st.completed <> st.admitted then
+        fail "serve: tenant %s admitted %d jobs but completed %d" name
+          st.admitted st.completed;
+      if Histogram.count st.lat_hist <> st.completed then
+        fail "serve: tenant %s recorded %d latency samples for %d completions"
+          name (Histogram.count st.lat_hist) st.completed;
+      if Histogram.count st.wait_hist <> st.admitted then
+        fail "serve: tenant %s recorded %d queue-wait samples for %d admissions"
+          name (Histogram.count st.wait_hist) st.admitted;
+      if st.slo_violations > st.completed then
+        fail "serve: tenant %s counts %d SLO violations over %d completions"
+          name st.slo_violations st.completed)
+    tenants;
+  if Fair_queue.length fq <> 0 then
+    fail "serve: %d jobs still queued after the run drained"
+      (Fair_queue.length fq);
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 tenants in
+  let counter = Metrics.counter_value registry in
+  if counter "serve.submitted" <> sum (fun st -> st.submitted) then
+    fail "serve: registry counts %d submissions, tenants %d"
+      (counter "serve.submitted")
+      (sum (fun st -> st.submitted));
+  if counter "serve.admitted" <> sum (fun st -> st.admitted) then
+    fail "serve: registry counts %d admissions, tenants %d"
+      (counter "serve.admitted")
+      (sum (fun st -> st.admitted));
+  if counter "serve.shed" <> sum (fun st -> st.shed) then
+    fail "serve: registry counts %d sheds, tenants %d" (counter "serve.shed")
+      (sum (fun st -> st.shed));
+  if counter "serve.completed" <> sum (fun st -> st.completed) then
+    fail "serve: registry counts %d completions, tenants %d"
+      (counter "serve.completed")
+      (sum (fun st -> st.completed))
+
 let run inst cfg =
   validate cfg;
   let env = inst.Systems.env in
   let sched = env.Workloads.Exec_env.sched in
+  if cfg.check then Sched.set_check sched true;
   let registry = Metrics.create () in
   Metrics.set_gauge registry "serve.effective_capacity"
     (Chipsim.Modifiers.online_capacity (Machine.modifiers inst.Systems.machine));
@@ -276,6 +325,12 @@ let run inst cfg =
      closed-loop ones *)
   let submit ctx st ~arrival kind =
     let now = arrival in
+    (* arrival conservation, checked before this arrival is counted: every
+       prior submission was either admitted or shed, never both or neither *)
+    if cfg.check && st.submitted <> st.admitted + st.shed then
+      Chipsim.Invariant.fail
+        "serve: tenant %s saw %d arrivals but admitted %d + shed %d"
+        st.cfg_t.name st.submitted st.admitted st.shed;
     st.submitted <- st.submitted + 1;
     let job_id = !next_job_id in
     incr next_job_id;
@@ -417,6 +472,7 @@ let run inst cfg =
              queue_wait = st.wait_hist;
            })
   in
+  if cfg.check then check_report ~registry ~fq tenants;
   { makespan_ns = makespan; tenant_reports; registry; stats }
 
 let report_to_json r =

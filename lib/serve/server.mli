@@ -52,6 +52,13 @@ type config = {
           virtual timestamps — lets experiment drivers (the fault bench)
           window latencies over the run without relying on the bounded
           trace ring *)
+  check : bool;
+      (** run the serving layer's executable invariants (and turn on the
+          scheduler's, {!Engine.Sched.set_check}): every arrival is either
+          admitted or shed, every admitted job completes and is sampled in
+          exactly one latency histogram, the fair queue drains, and the
+          registry's global counters agree with the per-tenant ledgers.  A
+          violation raises {!Chipsim.Invariant.Violation}.  Default off. *)
 }
 
 val default_config : seed:int -> config

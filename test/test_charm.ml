@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "charm"
+    [
+      ("placement", Test_placement.suite);
+      ("profiler", Test_profiler.suite);
+      ("controller", Test_controller.suite);
+      ("policy", Test_policy.suite);
+      ("runtime", Test_runtime.suite);
+    ]

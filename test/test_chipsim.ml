@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "chipsim"
+    [
+      ("topology", Test_topology.suite);
+      ("latency", Test_latency.suite);
+      ("cache", Test_cache.suite);
+      ("directory", Test_directory.suite);
+      ("pmu", Test_pmu.suite);
+      ("memchan", Test_memchan.suite);
+      ("memchan-prop", Test_prop_memchan.suite);
+      ("simmem", Test_simmem.suite);
+      ("machine", Test_machine.suite);
+    ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "db"
+    [
+      ("exec", Test_exec.suite);
+      ("olap", Test_olap.suite);
+      ("oltp", Test_oltp.suite);
+    ]

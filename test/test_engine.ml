@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "engine"
+    [
+      ("rng", Test_rng.suite);
+      ("coroutine", Test_coroutine.suite);
+      ("wsqueue", Test_wsqueue.suite);
+      ("sched-smoke", Test_sched_smoke.suite);
+      ("sched", Test_sched.suite);
+      ("barrier", Test_barrier.suite);
+      ("future", Test_future.suite);
+      ("trace", Test_trace.suite);
+      ("par", Test_par.suite);
+    ]

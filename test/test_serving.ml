@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "serving"
+    [
+      ("serve", Test_serve.suite);
+      ("histogram-prop", Test_prop_histogram.suite);
+      ("faults", Test_faults.suite);
+    ]

@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "workloads"
+    [
+      ("baselines", Test_baselines.suite);
+      ("graph", Test_graph.suite);
+      ("analytics", Test_analytics.suite);
+      ("streamcluster", Test_streamcluster.suite);
+    ]
