@@ -1,7 +1,9 @@
 (* Bench driver: regenerates every table and figure of the paper's
    evaluation.  Run with no arguments for the full suite, or pass
    experiment names (fig1 fig3 fig4 fig5 fig7 tab1 fig8 fig9 tab2 fig10
-   fig11 fig12 fig13 fig14 ablation micro serve fault) to run a subset. *)
+   fig11 fig12 fig13 fig14 ablation micro serve fault fleet) to run a
+   subset.  [--json FILE] additionally writes machine-readable result rows
+   for experiments that emit them (currently: fleet). *)
 
 let experiments =
   [
@@ -23,6 +25,7 @@ let experiments =
     ("micro", Micro.run);
     ("serve", Serve.run);
     ("fault", Fault.run);
+    ("fleet", Fleet_bench.run);
   ]
 
 let () =
@@ -35,7 +38,16 @@ let () =
     | a :: rest -> split_trace (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let trace_file, names = split_trace [] args in
+  (* [--json FILE] collects machine-readable result rows from every
+     experiment that emits them and writes one JSON document at the end *)
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let trace_file, args = split_trace [] args in
+  let json_file, names = split_json [] args in
+  Util.json_sink := json_file;
   (match trace_file with
   | Some _ -> Util.trace_sink := Some (Engine.Trace.create ())
   | None -> ());
@@ -59,5 +71,6 @@ let () =
       Printf.printf "\nwrote %d trace events to %s\n%s"
         (Engine.Trace.num_events tr) file (Engine.Trace.summary tr)
   | _ -> ());
+  Util.json_write ();
   Printf.printf "\nAll requested experiments finished in %.1fs.\n"
     (Unix.gettimeofday () -. t0)

@@ -20,6 +20,36 @@ let attach_trace inst =
       | None ->
           Engine.Sched.set_trace inst.Sys_.env.Exec_env.sched (Some tr))
 
+(* Optional machine-readable sink: set by the driver's [--json FILE] flag;
+   experiments append flat rows of pre-rendered JSON values alongside their
+   human tables, and the driver writes the file once at the end.  The
+   committed BENCH_*.json baselines and the CI bench-diff step read this. *)
+let json_sink : string option ref = ref None
+let json_rows : string list ref = ref []
+let json_str s = Printf.sprintf "%S" s
+let json_num f = Printf.sprintf "%.6g" f
+
+let json_row ~experiment kvs =
+  if !json_sink <> None then
+    json_rows :=
+      Printf.sprintf "{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%S:%s" k v)
+              (("experiment", json_str experiment) :: kvs)))
+      :: !json_rows
+
+let json_write () =
+  match !json_sink with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc "{\"rows\":[\n%s\n]}\n"
+        (String.concat ",\n" (List.rev !json_rows));
+      close_out oc;
+      Printf.printf "\nwrote %d bench rows to %s\n"
+        (List.length !json_rows) file
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

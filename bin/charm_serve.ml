@@ -70,11 +70,104 @@ let load_fault_spec spec =
   end
   else spec
 
+(* --shard-machines accepts a comma-separated preset list cycled over the
+   shards, e.g. "amd,intel" *)
+let parse_shard_machines spec =
+  let names = String.split_on_char ',' spec in
+  let resolve n = List.assoc_opt (String.trim n) machines in
+  if names = [] || List.exists (fun n -> resolve n = None) names then
+    Error (`Msg ("bad --shard-machines list: " ^ spec))
+  else Ok (List.filter_map resolve names)
+
+(* --faults-shard entries are SHARD:SPEC (spec inline or a file path) *)
+let parse_shard_fault spec =
+  match String.index_opt spec ':' with
+  | Some i when i > 0 -> (
+      match int_of_string_opt (String.sub spec 0 i) with
+      | Some shard when shard >= 0 ->
+          Ok (shard, String.sub spec (i + 1) (String.length spec - i - 1))
+      | _ -> Error (`Msg ("bad --faults-shard entry (want SHARD:SPEC): " ^ spec)))
+  | _ -> Error (`Msg ("bad --faults-shard entry (want SHARD:SPEC): " ^ spec))
+
+let run_fleet ~n_shards ~sys ~machine ~shard_machines ~workers ~cache_scale
+    ~policy ~epoch_us ~diurnal ~diurnal_period_us ~no_relocation ~plant
+    ~shard_faults ~fault_spec ~trace_file ~cfg =
+  let machines_list =
+    match shard_machines with [] -> [ machine ] | ms -> ms
+  in
+  (* --faults without a shard qualifier applies to shard 0 *)
+  let fault_specs =
+    (match fault_spec with Some s -> [ (0, s) ] | None -> [])
+    @ shard_faults
+  in
+  let faults =
+    List.map
+      (fun (shard, spec) ->
+        let kind = List.nth machines_list (shard mod List.length machines_list) in
+        let topo = Sys_.topology kind ~cache_scale in
+        match Faults.Schedule.parse ~topo (load_fault_spec spec) with
+        | Ok schedule -> (shard, schedule)
+        | Error msg ->
+            Printf.eprintf "charm_serve: bad fault spec for shard %d: %s\n"
+              shard msg;
+            exit 2)
+      fault_specs
+  in
+  let fleet_cfg =
+    {
+      Fleet.Cluster.n_shards;
+      sys;
+      machines = machines_list;
+      n_workers = workers;
+      cache_scale;
+      policy;
+      epoch_us;
+      serve = { cfg with Serve.Server.trace = None };
+      diurnal_amplitude = diurnal;
+      diurnal_period_us = diurnal_period_us;
+      faults;
+      relocation = not no_relocation;
+      degraded_capacity = 0.75;
+      degraded_sick = 0.25;
+      plant;
+      trace = trace_file <> None;
+    }
+  in
+  match Fleet.Cluster.run fleet_cfg with
+  | res ->
+      print_string (Fleet.Cluster.result_to_json res);
+      print_newline ();
+      (match trace_file with
+      | Some file when res.Fleet.Cluster.traces <> [] ->
+          Engine.Trace.save_merged res.Fleet.Cluster.traces file;
+          let events =
+            List.fold_left
+              (fun acc tr -> acc + Engine.Trace.num_events tr)
+              0 res.Fleet.Cluster.traces
+          in
+          Printf.eprintf
+            "wrote %d trace events (%d tracks) to %s (load in chrome://tracing)\n"
+            events
+            (List.length res.Fleet.Cluster.traces)
+            file
+      | _ -> ())
+  | exception Invalid_argument msg ->
+      Printf.eprintf "charm_serve: %s\n" msg;
+      exit 2
+  | exception Chipsim.Invariant.Violation msg ->
+      Printf.eprintf "charm_serve: INVARIANT VIOLATION: %s\n" msg;
+      exit 3
+
 let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
     slo_factor closed_loop think_us tenant_specs graph_scale trace_file
-    fault_spec check =
+    fault_spec check fleet router epoch_us shard_machines shard_faults diurnal
+    diurnal_period_us no_relocation plant =
   if closed_loop = None && rate <= 0.0 then begin
     Printf.eprintf "charm_serve: --rate must be positive\n";
+    exit 2
+  end;
+  if fleet > 0 && closed_loop <> None then begin
+    Printf.eprintf "charm_serve: --fleet drives open-loop tenants only\n";
     exit 2
   end;
   let mixes = if tenant_specs = [] then default_mixes else tenant_specs in
@@ -107,6 +200,11 @@ let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
       check;
     }
   in
+  if fleet > 0 then
+    run_fleet ~n_shards:fleet ~sys ~machine ~shard_machines ~workers
+      ~cache_scale ~policy:router ~epoch_us ~diurnal ~diurnal_period_us
+      ~no_relocation ~plant ~shard_faults ~fault_spec ~trace_file ~cfg
+  else
   match
     let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
     (match fault_spec with
@@ -220,6 +318,107 @@ let check_arg =
            serving-layer admission/completion conservation. A violation \
            aborts with exit code 3.")
 
+let fleet_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fleet" ] ~docv:"N"
+        ~doc:
+          "Shard the server across $(docv) simulated machines behind a \
+           cluster router (0 = single-machine mode). Per-tenant --rate and \
+           --jobs become cluster-wide; the report is the fleet JSON \
+           summary (merged metrics, router counters, per-shard detail).")
+
+let router_arg =
+  let policies =
+    List.map (fun p -> (Fleet.Router.policy_name p, p)) Fleet.Router.all_policies
+  in
+  Arg.(
+    value
+    & opt (enum policies) Fleet.Router.Charm_aware
+    & info [ "router" ] ~docv:"POLICY"
+        ~doc:
+          "Fleet placement policy: $(b,charm) (load over effective \
+           capacity, chiplet-health-aware, tenant affinity), \
+           $(b,least-loaded) (load only, chiplet-blind), or \
+           $(b,round-robin).")
+
+let epoch_us_arg =
+  Arg.(
+    value & opt float 250.0
+    & info [ "epoch-us" ] ~docv:"US"
+        ~doc:
+          "Fleet routing epoch (virtual us): shards drain with a dispatch \
+           horizon at each epoch end, and routing/relocation decisions run \
+           at epoch boundaries.")
+
+let shard_machines_conv =
+  Arg.conv
+    ( parse_shard_machines,
+      fun ppf ms ->
+        Format.fprintf ppf "%s"
+          (String.concat ","
+             (List.map (fun m -> fst (List.find (fun (_, k) -> k = m) machines)) ms)) )
+
+let shard_machines_arg =
+  Arg.(
+    value
+    & opt (some shard_machines_conv) None
+    & info [ "shard-machines" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated machine presets cycled over the shards (e.g. \
+           $(b,amd,intel)); defaults to the --machine preset for every \
+           shard.")
+
+let shard_fault_conv =
+  Arg.conv (parse_shard_fault, fun ppf (s, spec) -> Format.fprintf ppf "%d:%s" s spec)
+
+let shard_faults_arg =
+  Arg.(
+    value
+    & opt_all shard_fault_conv []
+    & info [ "faults-shard" ] ~docv:"SHARD:SPEC"
+        ~doc:
+          "Fault schedule for one shard in fleet mode (spec inline or a \
+           file path; same grammar as --faults, which in fleet mode \
+           applies to shard 0). Repeatable.")
+
+let diurnal_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "diurnal" ] ~docv:"A"
+        ~doc:
+          "Diurnal modulation amplitude in [0,1] for fleet arrivals: the \
+           Poisson rate swings by a factor (1 ± $(docv)) over each period.")
+
+let diurnal_period_arg =
+  Arg.(
+    value & opt float 4000.0
+    & info [ "diurnal-period-us" ] ~docv:"US" ~doc:"Diurnal period (virtual us).")
+
+let no_relocation_arg =
+  Arg.(
+    value & flag
+    & info [ "no-relocation" ]
+        ~doc:
+          "Disable cross-shard relocation of queued jobs away from \
+           degraded shards.")
+
+let plant_arg =
+  let plants =
+    [
+      ("drop-relocated", Fleet.Cluster.Drop_relocated);
+      ("route-offline", Fleet.Cluster.Route_offline);
+    ]
+  in
+  Arg.(
+    value
+    & opt (some (enum plants)) None
+    & info [ "plant" ] ~docv:"BUG"
+        ~doc:
+          "Plant a deliberate fleet routing bug ($(b,drop-relocated) or \
+           $(b,route-offline)) so --check can demonstrate the fleet \
+           invariants trip. Testing hook; do not use for measurements.")
+
 let cmd =
   let doc = "serve a multi-tenant job mix online on the simulated chiplet machine" in
   Cmd.v
@@ -228,6 +427,11 @@ let cmd =
       const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
-      $ trace_arg $ faults_arg $ check_arg)
+      $ trace_arg $ faults_arg $ check_arg $ fleet_arg $ router_arg
+      $ epoch_us_arg
+      $ Term.(
+          const (function None -> [] | Some ms -> ms) $ shard_machines_arg)
+      $ shard_faults_arg $ diurnal_arg $ diurnal_period_arg $ no_relocation_arg
+      $ plant_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -44,4 +44,13 @@ let catalog =
     ( "serve.registry-agreement",
       "the metrics registry's global counters equal the sums of the \
        per-tenant ledgers" );
+    ( "fleet.job-conservation",
+      "across the cluster, jobs offered to the router equal shard \
+       completions plus shard sheds plus router sheds, and per shard \
+       completed + relocated_out = admitted (relocated jobs are never \
+       lost or double-counted)" );
+    ( "fleet.no-offline-placement",
+      "the router never places a job — fresh or relocated — onto a \
+       fully-offline shard (online capacity 0); when every shard is \
+       offline the job is shed at the router and accounted there" );
   ]

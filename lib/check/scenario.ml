@@ -20,9 +20,20 @@ type serve_params = {
   tenants : tenant list;
 }
 
+type fleet_params = {
+  shards : int;
+  fpolicy : Fleet.Router.policy;
+  fepoch_us : float;
+  fdiurnal : float;
+  frelocation : bool;
+  fshard_faults : (int * Schedule.t) list;
+  fserve : serve_params;
+}
+
 type kind =
   | Batch of { workload : batch_workload; graph_scale : int }
   | Serve of serve_params
+  | Fleet of fleet_params
 
 type t = {
   seed : int;
@@ -53,33 +64,73 @@ let gen_tenant i =
   let* tkinds = list_repeat nkinds (oneofl serve_kind_pool) in
   return { tname = List.nth tenant_names i; tweight; tkinds }
 
-let gen_kind mode =
+let gen_serve_params mode =
   let open Gen in
   let max_gs = match mode with Smoke -> 7 | Deep -> 9 in
-  frequencyl [ (2, `Batch); (1, `Serve) ] >>= function
+  let* jobs = int_range 2 (match mode with Smoke -> 10 | Deep -> 24) in
+  let* rate_k = int_range 2 20 in
+  let* max_inflight = int_range 1 4 in
+  let* queue_bound = int_range 1 8 in
+  let* serve_graph_scale = int_range 5 (min 8 max_gs) in
+  let* ntenants = int_range 1 (match mode with Smoke -> 2 | Deep -> 3) in
+  let* tenants = flatten_l (List.init ntenants gen_tenant) in
+  return
+    {
+      rate_per_s = float_of_int (rate_k * 1000);
+      jobs;
+      max_inflight;
+      queue_bound;
+      serve_graph_scale;
+      tenants;
+    }
+
+let gen_kind mode ~machine ~cache_scale =
+  let open Gen in
+  let max_gs = match mode with Smoke -> 7 | Deep -> 9 in
+  frequencyl [ (4, `Batch); (2, `Serve); (1, `Fleet) ] >>= function
   | `Batch ->
       let* workload = oneofl batch_workloads in
       let* graph_scale = int_range 5 max_gs in
       return (Batch { workload; graph_scale })
   | `Serve ->
-      let* jobs = int_range 2 (match mode with Smoke -> 10 | Deep -> 24) in
-      let* rate_k = int_range 2 20 in
-      let* max_inflight = int_range 1 4 in
-      let* queue_bound = int_range 1 8 in
-      let* serve_graph_scale = int_range 5 (min 8 max_gs) in
-      let* ntenants = int_range 1 (match mode with Smoke -> 2 | Deep -> 3) in
-      let* tenants =
-        flatten_l (List.init ntenants gen_tenant)
+      let* p = gen_serve_params mode in
+      return (Serve p)
+  | `Fleet ->
+      let* fserve = gen_serve_params mode in
+      let* shards = int_range 2 (match mode with Smoke -> 3 | Deep -> 4) in
+      let* fpolicy = oneofl Fleet.Router.all_policies in
+      let* fepoch_us = oneofl [ 100.0; 250.0; 500.0 ] in
+      let* fdiurnal = oneofl [ 0.0; 0.0; 0.6 ] in
+      let* frelocation = bool in
+      let* nfaulted =
+        frequencyl
+          (match mode with
+          | Smoke -> [ (2, 0); (2, 1) ]
+          | Deep -> [ (1, 0); (2, 1); (1, 2) ])
+      in
+      let* fshard_faults =
+        if nfaulted = 0 then return []
+        else
+          let topo = Systems.topology machine ~cache_scale in
+          let horizon_us = match mode with Smoke -> 2000.0 | Deep -> 20_000.0 in
+          flatten_l
+            (List.init nfaulted (fun _ ->
+                 let* shard = int_range 0 (shards - 1) in
+                 let* fault_seed = int_range 0 1_000_000 in
+                 let* n = int_range 2 4 in
+                 return
+                   (shard, Schedule.random ~topo ~seed:fault_seed ~n ~horizon_us)))
       in
       return
-        (Serve
+        (Fleet
            {
-             rate_per_s = float_of_int (rate_k * 1000);
-             jobs;
-             max_inflight;
-             queue_bound;
-             serve_graph_scale;
-             tenants;
+             shards;
+             fpolicy;
+             fepoch_us;
+             fdiurnal;
+             frelocation;
+             fshard_faults;
+             fserve;
            })
 
 let gen ~mode ~seed =
@@ -102,12 +153,16 @@ let gen ~mode ~seed =
   in
   let* cache_scale = oneofl [ 16; 32; 64 ] in
   let* workers = int_range 2 (match mode with Smoke -> 6 | Deep -> 12) in
-  let* kind = gen_kind mode in
+  let* kind = gen_kind mode ~machine ~cache_scale in
+  (* fleet scenarios carry per-shard schedules inside the kind instead *)
   let* fault_n =
-    frequencyl
-      (match mode with
-      | Smoke -> [ (3, 0); (2, 2); (2, 4); (1, 6) ]
-      | Deep -> [ (2, 0); (2, 3); (2, 6); (1, 12) ])
+    match kind with
+    | Fleet _ -> return 0
+    | Batch _ | Serve _ ->
+        frequencyl
+          (match mode with
+          | Smoke -> [ (3, 0); (2, 2); (2, 4); (1, 6) ]
+          | Deep -> [ (2, 0); (2, 3); (2, 6); (1, 12) ])
   in
   let* fault_seed = int_range 0 1_000_000 in
   let faults =
@@ -187,13 +242,83 @@ let run_batch_workload env ~seed ~graph_scale ~n_workers:_ = function
       let _ = Workloads.Gups.run env params in
       F_none
 
+let server_config_of_params t (p : serve_params) ~trace =
+  let tenants =
+    List.map
+      (fun te ->
+        {
+          Serving.Server.name = te.tname;
+          weight = te.tweight;
+          slo_factor = 3.0;
+          process = Serving.Arrivals.Open_loop { rate_per_s = p.rate_per_s };
+          jobs = p.jobs;
+          mix = List.map (fun k -> (k, 1)) te.tkinds;
+        })
+      p.tenants
+  in
+  {
+    Serving.Server.tenants;
+    admission =
+      {
+        Serving.Admission.max_queue_per_tenant = p.queue_bound;
+        max_global_queue = p.queue_bound * max 2 (List.length p.tenants);
+      };
+    max_inflight = p.max_inflight;
+    seed = t.seed;
+    data =
+      {
+        Serving.Job.default_data_config with
+        graph_scale = p.serve_graph_scale;
+        seed = t.seed + 1;
+      };
+    trace;
+    on_complete = None;
+    check = true;
+  }
+
+(* the fleet oracle subject: the deterministic JSON result plus the
+   placement log, with per-shard serving invariants and the cluster
+   conservation checks live inside [Cluster.run] *)
+let run_fleet t (f : fleet_params) =
+  let cfg =
+    {
+      Fleet.Cluster.n_shards = f.shards;
+      sys = t.sys;
+      machines = [ t.machine ];
+      n_workers = t.workers;
+      cache_scale = t.cache_scale;
+      policy = f.fpolicy;
+      epoch_us = f.fepoch_us;
+      serve = server_config_of_params t f.fserve ~trace:None;
+      diurnal_amplitude = f.fdiurnal;
+      diurnal_period_us = 4000.0;
+      faults = f.fshard_faults;
+      relocation = f.frelocation;
+      degraded_capacity = 0.75;
+      degraded_sick = 0.25;
+      plant = None;
+      trace = false;
+    }
+  in
+  let res = Fleet.Cluster.run cfg in
+  {
+    report =
+      Fleet.Cluster.result_to_json res ^ "\n" ^ res.Fleet.Cluster.placement_log;
+    trace = "";
+    fn = F_none;
+  }
+
 let run_once t =
+  match t.kind with
+  | Fleet f -> run_fleet t f
+  | Batch _ | Serve _ ->
   let inst =
     Systems.make ~cache_scale:t.cache_scale t.sys t.machine
       ~n_workers:t.workers ()
   in
   let tr = Engine.Trace.create () in
   (match t.kind with
+  | Fleet _ -> assert false
   | Batch { workload; graph_scale } ->
       Invariants.enable inst;
       (match inst.Systems.charm with
@@ -211,42 +336,7 @@ let run_once t =
       { report; trace = Engine.Trace.to_chrome_json tr; fn }
   | Serve p ->
       attach_faults inst t.faults;
-      let tenants =
-        List.map
-          (fun te ->
-            {
-              Serving.Server.name = te.tname;
-              weight = te.tweight;
-              slo_factor = 3.0;
-              process =
-                Serving.Arrivals.Open_loop { rate_per_s = p.rate_per_s };
-              jobs = p.jobs;
-              mix = List.map (fun k -> (k, 1)) te.tkinds;
-            })
-          p.tenants
-      in
-      let cfg =
-        {
-          Serving.Server.tenants;
-          admission =
-            {
-              Serving.Admission.max_queue_per_tenant = p.queue_bound;
-              max_global_queue =
-                p.queue_bound * max 2 (List.length p.tenants);
-            };
-          max_inflight = p.max_inflight;
-          seed = t.seed;
-          data =
-            {
-              Serving.Job.default_data_config with
-              graph_scale = p.serve_graph_scale;
-              seed = t.seed + 1;
-            };
-          trace = Some tr;
-          on_complete = None;
-          check = true;
-        }
-      in
+      let cfg = server_config_of_params t p ~trace:(Some tr) in
       let report = Serving.Server.run inst cfg in
       Invariants.verify inst;
       {
@@ -400,6 +490,21 @@ let sanitize_faults ~topo faults =
       | Schedule.Membw { node; _ } -> node < nodes)
     faults
 
+let shrink_serve (p : serve_params) =
+  let cands = ref [] in
+  let add c = if c <> p then cands := c :: !cands in
+  if List.length p.tenants > 1 then add { p with tenants = [ List.hd p.tenants ] };
+  (match p.tenants with
+  | [ te ] when List.length te.tkinds > 1 ->
+      add { p with tenants = [ { te with tkinds = [ List.hd te.tkinds ] } ] }
+  | _ -> ());
+  if p.jobs > 1 then add { p with jobs = max 1 (p.jobs / 2) };
+  if p.max_inflight > 1 then add { p with max_inflight = 1 };
+  if p.queue_bound > 1 then add { p with queue_bound = 1 };
+  if p.serve_graph_scale > 5 then
+    add { p with serve_graph_scale = p.serve_graph_scale - 1 };
+  List.rev !cands
+
 let shrink t =
   let cands = ref [] in
   let add c = if c <> t then cands := c :: !cands in
@@ -423,37 +528,65 @@ let shrink t =
       if b.graph_scale > 5 then
         add { t with kind = Batch { b with graph_scale = b.graph_scale - 1 } }
   | Serve p ->
-      if List.length p.tenants > 1 then
-        add { t with kind = Serve { p with tenants = [ List.hd p.tenants ] } };
-      (match p.tenants with
-      | [ te ] when List.length te.tkinds > 1 ->
-          add
-            {
-              t with
-              kind =
-                Serve
-                  { p with tenants = [ { te with tkinds = [ List.hd te.tkinds ] } ] };
-            }
-      | _ -> ());
-      if p.jobs > 1 then
-        add { t with kind = Serve { p with jobs = max 1 (p.jobs / 2) } };
-      if p.max_inflight > 1 then
-        add { t with kind = Serve { p with max_inflight = 1 } };
-      if p.queue_bound > 1 then
-        add { t with kind = Serve { p with queue_bound = 1 } };
-      if p.serve_graph_scale > 5 then
+      List.iter (fun p' -> add { t with kind = Serve p' }) (shrink_serve p)
+  | Fleet f ->
+      (* collapse the fleet tier entirely first — if the bug reproduces on
+         a single machine the repro is much simpler *)
+      add { t with kind = Serve f.fserve };
+      (match f.fshard_faults with
+      | [] -> ()
+      | [ _ ] -> add { t with kind = Fleet { f with fshard_faults = [] } }
+      | evs ->
+          add { t with kind = Fleet { f with fshard_faults = [] } };
+          List.iteri
+            (fun i _ ->
+              add
+                { t with kind = Fleet { f with fshard_faults = remove_nth i evs } })
+            evs);
+      if f.shards > 2 then
         add
           {
             t with
-            kind = Serve { p with serve_graph_scale = p.serve_graph_scale - 1 };
-          });
+            kind =
+              Fleet
+                {
+                  f with
+                  shards = f.shards - 1;
+                  (* keep fault shard indices in range for the smaller fleet *)
+                  fshard_faults =
+                    List.filter (fun (s, _) -> s < f.shards - 1) f.fshard_faults;
+                };
+          };
+      if f.fdiurnal > 0.0 then
+        add { t with kind = Fleet { f with fdiurnal = 0.0 } };
+      if f.frelocation then
+        add { t with kind = Fleet { f with frelocation = false } };
+      if f.fpolicy <> Fleet.Router.Round_robin then
+        add { t with kind = Fleet { f with fpolicy = Fleet.Router.Round_robin } };
+      List.iter
+        (fun p' -> add { t with kind = Fleet { f with fserve = p' } })
+        (shrink_serve f.fserve));
   if t.machine <> Systems.Amd_milan_1s then begin
     let topo = Systems.topology Systems.Amd_milan_1s ~cache_scale:t.cache_scale in
+    let kind =
+      match t.kind with
+      | Fleet f ->
+          Fleet
+            {
+              f with
+              fshard_faults =
+                List.map
+                  (fun (s, sch) -> (s, sanitize_faults ~topo sch))
+                  f.fshard_faults;
+            }
+      | k -> k
+    in
     add
       {
         t with
         machine = Systems.Amd_milan_1s;
         faults = sanitize_faults ~topo t.faults;
+        kind;
       }
   end;
   if t.sys <> Systems.Charm then add { t with sys = Systems.Charm };
@@ -496,6 +629,22 @@ let faults_frag t =
   | [] -> ""
   | f -> Printf.sprintf " --faults '%s'" (Schedule.to_spec f)
 
+let serve_frags t (p : serve_params) =
+  let tenant_frags =
+    String.concat ""
+      (List.map
+         (fun te ->
+           Printf.sprintf " --tenant %s:%g:%s" te.tname te.tweight
+             (String.concat "+" (List.map Serving.Job.kind_name te.tkinds)))
+         p.tenants)
+  in
+  Printf.sprintf
+    "-s %s -m %s -n %d --cache-scale %d --rate %g --jobs %d --seed %d \
+     --max-inflight %d --queue-bound %d --graph-scale %d%s"
+    (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale
+    p.rate_per_s p.jobs t.seed p.max_inflight p.queue_bound
+    p.serve_graph_scale tenant_frags
+
 let to_repro t =
   match t.kind with
   | Batch { workload; graph_scale } ->
@@ -505,22 +654,26 @@ let to_repro t =
         (workload_cli workload) (sys_cli t.sys) (machine_cli t.machine)
         t.workers t.cache_scale graph_scale t.seed (faults_frag t)
   | Serve p ->
-      let tenant_frags =
+      Printf.sprintf "charm_serve %s --check%s" (serve_frags t p)
+        (faults_frag t)
+  | Fleet f ->
+      let fault_frags =
         String.concat ""
           (List.map
-             (fun te ->
-               Printf.sprintf " --tenant %s:%g:%s" te.tname te.tweight
-                 (String.concat "+"
-                    (List.map Serving.Job.kind_name te.tkinds)))
-             p.tenants)
+             (fun (s, sch) ->
+               Printf.sprintf " --faults-shard '%d:%s'" s (Schedule.to_spec sch))
+             f.fshard_faults)
       in
       Printf.sprintf
-        "charm_serve -s %s -m %s -n %d --cache-scale %d --rate %g --jobs %d \
-         --seed %d --max-inflight %d --queue-bound %d --graph-scale %d%s \
-         --check%s"
-        (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale
-        p.rate_per_s p.jobs t.seed p.max_inflight p.queue_bound
-        p.serve_graph_scale tenant_frags (faults_frag t)
+        "charm_serve --fleet %d --router %s --epoch-us %g %s%s%s%s --check"
+        f.shards
+        (Fleet.Router.policy_name f.fpolicy)
+        f.fepoch_us
+        (serve_frags t f.fserve)
+        fault_frags
+        (if f.fdiurnal > 0.0 then Printf.sprintf " --diurnal %g" f.fdiurnal
+         else "")
+        (if f.frelocation then "" else " --no-relocation")
 
 let describe t =
   let kind =
@@ -530,7 +683,19 @@ let describe t =
     | Serve p ->
         Printf.sprintf "serve %d-tenant jobs=%d rate=%g"
           (List.length p.tenants) p.jobs p.rate_per_s
+    | Fleet f ->
+        Printf.sprintf "fleet %dx %s jobs=%d%s%s" f.shards
+          (Fleet.Router.policy_name f.fpolicy)
+          f.fserve.jobs
+          (if f.fdiurnal > 0.0 then " diurnal" else "")
+          (if f.frelocation then "" else " no-reloc")
+  in
+  let n_faults =
+    List.length t.faults
+    + (match t.kind with
+      | Fleet f ->
+          List.fold_left (fun a (_, s) -> a + List.length s) 0 f.fshard_faults
+      | _ -> 0)
   in
   Printf.sprintf "seed=%d %s on %s/%s n=%d cache/%d faults=%d" t.seed kind
-    (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale
-    (List.length t.faults)
+    (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale n_faults

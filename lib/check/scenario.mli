@@ -27,9 +27,26 @@ type serve_params = {
   tenants : tenant list;
 }
 
+type fleet_params = {
+  shards : int;
+  fpolicy : Fleet.Router.policy;
+  fepoch_us : float;
+  fdiurnal : float;  (** 0 = flat Poisson arrivals *)
+  frelocation : bool;
+  fshard_faults : (int * Faults.Schedule.t) list;
+      (** per-shard machine-level fault schedules *)
+  fserve : serve_params;  (** the per-shard serving template *)
+}
+
 type kind =
   | Batch of { workload : batch_workload; graph_scale : int }
   | Serve of serve_params
+  | Fleet of fleet_params
+      (** a whole cluster run ({!Fleet.Cluster}): routing, relocation and
+          conservation checked across shards, with the placement log part
+          of the determinism oracle's subject.  The top-level [faults]
+          field is empty for fleet scenarios — schedules live per shard in
+          [fshard_faults]. *)
 
 type t = {
   seed : int;

@@ -6,6 +6,13 @@ let job_phase_name = function
   | Start -> "start"
   | Finish -> "finish"
 
+type fleet_phase = Route | Relocate | Router_shed
+
+let fleet_phase_name = function
+  | Route -> "route"
+  | Relocate -> "relocate"
+  | Router_shed -> "router-shed"
+
 type event =
   | Quantum of { worker : int; core : int; task_id : int; start_ns : float; end_ns : float }
   | Steal of { thief : int; victim : int; task_id : int; at_ns : float }
@@ -19,6 +26,14 @@ type event =
   | Counter of { name : string; at_ns : float; series : (string * float) list }
   | Instant of { name : string; at_ns : float }
   | Fault of { desc : string; at_ns : float }
+  | Fleet of {
+      phase : fleet_phase;
+      job_id : int;
+      tenant : string;
+      shard : int;  (** destination shard ([-1] for a router shed) *)
+      from_shard : int;  (** source shard for relocations, [-1] otherwise *)
+      at_ns : float;
+    }
 
 (* Fixed-capacity ring: when full the oldest event is overwritten, so a
    long serving run keeps the newest window instead of growing without
@@ -27,6 +42,8 @@ type event =
 type t = {
   buf : event array;
   capacity : int;
+  pid : int;
+  name : string option;
   mutable head : int;
   mutable len : int;
   mutable dropped : int;
@@ -35,16 +52,20 @@ type t = {
 
 let default_capacity = 1 lsl 18
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?(pid = 0) ?name () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   {
     buf = Array.make capacity (Instant { name = ""; at_ns = 0.0 });
     capacity;
+    pid;
+    name;
     head = 0;
     len = 0;
     dropped = 0;
     on = true;
   }
+
+let pid t = t.pid
 
 let enabled t = t.on
 let set_enabled t on = t.on <- on
@@ -104,6 +125,18 @@ let counter t ~name ~at_ns ~series = push t (Counter { name; at_ns; series })
 let instant t ~name ~at_ns = push t (Instant { name; at_ns })
 let fault t ~desc ~at_ns = push t (Fault { desc; at_ns })
 
+let fleet_route t ~job_id ~tenant ~shard ~at_ns =
+  push t (Fleet { phase = Route; job_id; tenant; shard; from_shard = -1; at_ns })
+
+let fleet_relocate t ~job_id ~from_shard ~to_shard ~at_ns =
+  push t
+    (Fleet
+       { phase = Relocate; job_id; tenant = ""; shard = to_shard; from_shard; at_ns })
+
+let fleet_shed t ~job_id ~tenant ~at_ns =
+  push t
+    (Fleet { phase = Router_shed; job_id; tenant; shard = -1; from_shard = -1; at_ns })
+
 (* -- Chrome trace-event JSON -------------------------------------------- *)
 
 let escape s =
@@ -124,46 +157,46 @@ let escape s =
 
 let us ns = ns /. 1000.0
 
-let event_json = function
+let event_json pid = function
   | Quantum { worker; core; task_id; start_ns; end_ns } ->
       Printf.sprintf
-        {|{"name":"task %d","cat":"quantum","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"core":%d,"task":%d}}|}
+        {|{"name":"task %d","cat":"quantum","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"core":%d,"task":%d}}|}
         task_id (us start_ns)
         (us (Float.max 0.0 (end_ns -. start_ns)))
-        worker core task_id
+        pid worker core task_id
   | Steal { thief; victim; task_id; at_ns } ->
       Printf.sprintf
-        {|{"name":"steal task %d from w%d","cat":"steal","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t","args":{"victim":%d,"task":%d}}|}
-        task_id victim (us at_ns) thief victim task_id
+        {|{"name":"steal task %d from w%d","cat":"steal","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t","args":{"victim":%d,"task":%d}}|}
+        task_id victim (us at_ns) pid thief victim task_id
   | Park { worker; at_ns } ->
       Printf.sprintf
-        {|{"name":"park","cat":"park","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
-        (us at_ns) worker
+        {|{"name":"park","cat":"park","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t"}|}
+        (us at_ns) pid worker
   | Migration { worker; from_core; to_core; at_ns } ->
       Printf.sprintf
-        {|{"name":"migrate %d->%d","cat":"migration","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
-        from_core to_core (us at_ns) worker
+        {|{"name":"migrate %d->%d","cat":"migration","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t"}|}
+        from_core to_core (us at_ns) pid worker
   | Policy { worker; spread; at_ns } ->
       Printf.sprintf
-        {|{"name":"spread=%d","cat":"policy","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
-        spread (us at_ns) worker
+        {|{"name":"spread=%d","cat":"policy","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t"}|}
+        spread (us at_ns) pid worker
   | Spread_change { worker; old_spread; new_spread; at_ns } ->
       Printf.sprintf
-        {|{"name":"spread %d->%d","cat":"policy","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t","args":{"old":%d,"new":%d}}|}
-        old_spread new_spread (us at_ns) worker old_spread new_spread
+        {|{"name":"spread %d->%d","cat":"policy","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t","args":{"old":%d,"new":%d}}|}
+        old_spread new_spread (us at_ns) pid worker old_spread new_spread
   | Mode_switch { from_mode; to_mode; at_ns } ->
       Printf.sprintf
-        {|{"name":"mode %s->%s","cat":"policy","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
-        (escape from_mode) (escape to_mode) (us at_ns)
+        {|{"name":"mode %s->%s","cat":"policy","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g"}|}
+        (escape from_mode) (escape to_mode) (us at_ns) pid
   | Rebind { worker; node; regions; at_ns } ->
       Printf.sprintf
-        {|{"name":"rebind node %d","cat":"rebind","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t","args":{"node":%d,"regions":%d}}|}
-        node (us at_ns) worker node regions
+        {|{"name":"rebind node %d","cat":"rebind","ph":"i","ts":%.3f,"pid":%d,"tid":%d,"s":"t","args":{"node":%d,"regions":%d}}|}
+        node (us at_ns) pid worker node regions
   | Job { phase; tenant; kind; job_id; at_ns } ->
       Printf.sprintf
-        {|{"name":"%s %s/%s#%d","cat":"job","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g","args":{"phase":"%s","tenant":"%s","kind":"%s","id":%d}}|}
+        {|{"name":"%s %s/%s#%d","cat":"job","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g","args":{"phase":"%s","tenant":"%s","kind":"%s","id":%d}}|}
         (job_phase_name phase) (escape tenant) (escape kind) job_id (us at_ns)
-        (job_phase_name phase) (escape tenant) (escape kind) job_id
+        pid (job_phase_name phase) (escape tenant) (escape kind) job_id
   | Counter { name; at_ns; series } ->
       let args =
         String.concat ","
@@ -171,16 +204,29 @@ let event_json = function
              (fun (k, v) -> Printf.sprintf {|"%s":%.3f|} (escape k) v)
              series)
       in
-      Printf.sprintf {|{"name":"%s","cat":"counter","ph":"C","ts":%.3f,"pid":0,"args":{%s}}|}
-        (escape name) (us at_ns) args
+      Printf.sprintf {|{"name":"%s","cat":"counter","ph":"C","ts":%.3f,"pid":%d,"args":{%s}}|}
+        (escape name) (us at_ns) pid args
   | Instant { name; at_ns } ->
       Printf.sprintf
-        {|{"name":"%s","cat":"marker","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
-        (escape name) (us at_ns)
+        {|{"name":"%s","cat":"marker","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g"}|}
+        (escape name) (us at_ns) pid
   | Fault { desc; at_ns } ->
       Printf.sprintf
-        {|{"name":"%s","cat":"fault","ph":"i","ts":%.3f,"pid":0,"tid":0,"s":"g"}|}
-        (escape desc) (us at_ns)
+        {|{"name":"%s","cat":"fault","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g"}|}
+        (escape desc) (us at_ns) pid
+  | Fleet { phase; job_id; tenant; shard; from_shard; at_ns } ->
+      let name =
+        match phase with
+        | Route ->
+            Printf.sprintf "route %s#%d -> shard %d" (escape tenant) job_id shard
+        | Relocate ->
+            Printf.sprintf "relocate #%d shard %d -> %d" job_id from_shard shard
+        | Router_shed ->
+            Printf.sprintf "router shed %s#%d" (escape tenant) job_id
+      in
+      Printf.sprintf
+        {|{"name":"%s","cat":"fleet","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g","args":{"phase":"%s","id":%d,"shard":%d,"from":%d}}|}
+        name (us at_ns) pid (fleet_phase_name phase) job_id shard from_shard
 
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
@@ -189,7 +235,33 @@ let to_chrome_json t =
   iter t (fun e ->
       if not !first then Buffer.add_string buf ",\n";
       first := false;
-      Buffer.add_string buf (event_json e));
+      Buffer.add_string buf (event_json t.pid e));
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+(* Merged serialization for multi-machine (fleet) runs: each trace keeps
+   its own pid so every shard renders as a separate process row, with
+   process_name metadata rows for the labelled ones. *)
+let to_chrome_json_merged ts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  let emit s =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun t ->
+      match t.name with
+      | Some n ->
+          emit
+            (Printf.sprintf
+               {|{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}|}
+               t.pid (escape n))
+      | None -> ())
+    ts;
+  List.iter (fun t -> iter t (fun e -> emit (event_json t.pid e))) ts;
   Buffer.add_string buf "]";
   Buffer.contents buf
 
@@ -199,6 +271,14 @@ let save t file =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (to_chrome_json t);
+      output_char oc '\n')
+
+let save_merged ts file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_chrome_json_merged ts);
       output_char oc '\n')
 
 (* -- text summary ------------------------------------------------------- *)
@@ -214,6 +294,7 @@ let category = function
   | Counter _ -> "counter"
   | Instant _ -> "marker"
   | Fault _ -> "fault"
+  | Fleet _ -> "fleet"
 
 let summary t =
   let b = Buffer.create 1024 in
@@ -221,6 +302,7 @@ let summary t =
   let migrations = ref 0 and migrating_workers = Hashtbl.create 8 in
   let spread_timeline = ref [] in
   let job_phases = Hashtbl.create 4 in
+  let fleet_phases = Hashtbl.create 4 in
   iter t (fun e ->
       let c = category e in
       Hashtbl.replace cats c (1 + Option.value ~default:0 (Hashtbl.find_opt cats c));
@@ -234,6 +316,10 @@ let summary t =
           let p = job_phase_name phase in
           Hashtbl.replace job_phases p
             (1 + Option.value ~default:0 (Hashtbl.find_opt job_phases p))
+      | Fleet { phase; _ } ->
+          let p = fleet_phase_name phase in
+          Hashtbl.replace fleet_phases p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fleet_phases p))
       | _ -> ());
   Buffer.add_string b
     (Printf.sprintf "trace: %d events retained (%d dropped, capacity %d)\n"
@@ -253,6 +339,14 @@ let summary t =
   | [] -> ()
   | phases ->
       Buffer.add_string b "jobs:";
+      List.iter
+        (fun (p, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" p n))
+        phases;
+      Buffer.add_char b '\n');
+  (match sorted fleet_phases with
+  | [] -> ()
+  | phases ->
+      Buffer.add_string b "fleet:";
       List.iter
         (fun (p, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" p n))
         phases;

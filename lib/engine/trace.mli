@@ -21,6 +21,11 @@ type job_phase = Admit | Shed | Start | Finish
 
 val job_phase_name : job_phase -> string
 
+type fleet_phase = Route | Relocate | Router_shed
+
+val fleet_phase_name : fleet_phase -> string
+(** ["route"], ["relocate"], ["router-shed"]. *)
+
 type event =
   | Quantum of { worker : int; core : int; task_id : int; start_ns : float; end_ns : float }
   | Steal of { thief : int; victim : int; task_id : int; at_ns : float }
@@ -34,10 +39,23 @@ type event =
   | Counter of { name : string; at_ns : float; series : (string * float) list }
   | Instant of { name : string; at_ns : float }
   | Fault of { desc : string; at_ns : float }
+  | Fleet of {
+      phase : fleet_phase;
+      job_id : int;
+      tenant : string;
+      shard : int;  (** destination shard ([-1] for a router shed) *)
+      from_shard : int;  (** source shard for relocations, [-1] otherwise *)
+      at_ns : float;
+    }
 
-val create : ?capacity:int -> unit -> t
-(** Ring buffer of [capacity] events (default 2^18).
+val create : ?capacity:int -> ?pid:int -> ?name:string -> unit -> t
+(** Ring buffer of [capacity] events (default 2^18).  [pid] (default 0)
+    is the Chrome-trace process id every event is rendered under — fleet
+    mode gives each shard its own pid so shards appear as separate
+    process rows.  [name] labels the process row when traces are merged.
     @raise Invalid_argument if [capacity <= 0]. *)
+
+val pid : t -> int
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -72,6 +90,13 @@ val fault : t -> desc:string -> at_ns:float -> unit
 (** Record a fault-injection or recovery instant (rendered on the global
     ["fault"] category track). *)
 
+(** Fleet (cluster-router) events, rendered on the ["fleet"] category
+    track.  Emitted into the {e router's} trace, not a shard's. *)
+
+val fleet_route : t -> job_id:int -> tenant:string -> shard:int -> at_ns:float -> unit
+val fleet_relocate : t -> job_id:int -> from_shard:int -> to_shard:int -> at_ns:float -> unit
+val fleet_shed : t -> job_id:int -> tenant:string -> at_ns:float -> unit
+
 val num_events : t -> int
 (** Events currently retained (at most [capacity]). *)
 
@@ -92,6 +117,15 @@ val to_chrome_json : t -> string
 
 val save : t -> string -> unit
 (** Write {!to_chrome_json} to a file. *)
+
+val to_chrome_json_merged : t list -> string
+(** Merge several traces (one per shard plus the router) into one Chrome
+    JSON array.  Each trace renders under its own {!pid}; traces created
+    with [~name] get a ["process_name"] metadata row so Perfetto labels
+    the process. *)
+
+val save_merged : t list -> string -> unit
+(** Write {!to_chrome_json_merged} to a file. *)
 
 val summary : t -> string
 (** Human-readable digest: event counts by category, migration churn,

@@ -36,7 +36,7 @@ let push t ~tenant ~cost payload =
       t.next_seq <- t.next_seq + 1;
       t.size <- t.size + 1
 
-let pop t =
+let select t =
   let best = ref None in
   List.iter
     (fun id ->
@@ -48,7 +48,13 @@ let pop t =
           | Some (_, b) when (b.finish, b.seq) <= (e.finish, e.seq) -> ()
           | _ -> best := Some (id, e)))
     t.ids;
-  match !best with
+  !best
+
+let peek t =
+  match select t with None -> None | Some (id, e) -> Some (id, e.payload)
+
+let pop t =
+  match select t with
   | None -> None
   | Some (id, e) ->
       let st = Hashtbl.find t.tenants id in

@@ -26,6 +26,11 @@ val push : 'a t -> tenant:int -> cost:float -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 (** The next (tenant, job) in weighted-fair order; [None] when empty. *)
 
+val peek : 'a t -> (int * 'a) option
+(** What {!pop} would return, without removing it or advancing virtual
+    time — used by dispatchers that must stall (not reorder) when the
+    head job is not yet eligible to start. *)
+
 val length : 'a t -> int
 val tenant_depth : 'a t -> tenant:int -> int
 (** 0 for unknown tenants. *)

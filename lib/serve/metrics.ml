@@ -38,6 +38,19 @@ let histogram t name =
 
 let observe t name v = Histogram.observe (histogram t name) v
 
+(* Merge in sorted-key order so the result (and therefore [to_json]) is
+   independent of the hash tables' internal iteration order. *)
+let merge dst src =
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (name, c) -> incr dst ~by:!c name) (sorted src.counters);
+  List.iter (fun (name, g) -> set_gauge dst name !g) (sorted src.gauges);
+  List.iter
+    (fun (name, h) -> Histogram.merge (histogram dst name) h)
+    (sorted src.histograms)
+
 (* JSON rendering: plain strings in, sorted keys out, no dependencies. *)
 
 let escape s =

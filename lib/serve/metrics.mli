@@ -30,6 +30,16 @@ val histogram : t -> string -> Histogram.t
 val observe : t -> string -> float -> unit
 (** [observe t name v] = [Histogram.observe (histogram t name) v]. *)
 
+(** {2 Merging} *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters add, gauges take
+    [src]'s value (last write wins, matching {!set_gauge}), histograms
+    merge sample-by-bucket.  [src] is not modified.  Used to aggregate
+    per-shard registries into one fleet-level registry.
+    @raise Invalid_argument if a histogram name exists in both with
+    incompatible bucket parameters. *)
+
 (** {2 Export} *)
 
 val to_json : t -> string

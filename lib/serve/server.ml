@@ -71,6 +71,8 @@ type tenant_report = {
   admitted : int;
   shed : int;
   completed : int;
+  relocated_out : int;
+  relocated_in : int;
   slo_ns : float;
   slo_violations : int;
   latency : Histogram.t;
@@ -95,6 +97,8 @@ type tenant_state = {
   mutable admitted : int;
   mutable shed : int;
   mutable completed : int;
+  mutable relocated_out : int;
+  mutable relocated_in : int;
   mutable slo_violations : int;
   lat_hist : Histogram.t;
   wait_hist : Histogram.t;
@@ -107,6 +111,14 @@ type pending = {
   job_seed : int;
   submit_ns : float;
   done_f : float Future.t;  (** fulfilled with the completion timestamp *)
+}
+
+type relocatable = {
+  r_id : int;
+  r_tenant : int;
+  r_kind : Job.kind;
+  r_seed : int;
+  r_submit_ns : float;
 }
 
 let pick_kind st =
@@ -131,9 +143,9 @@ let validate cfg =
     cfg.tenants
 
 (* End-of-run conservation: arrivals all accounted, every admitted job
-   completed (the scheduler drained), histogram sample counts match the
-   jobs that produced them, and the registry's global counters agree with
-   the per-tenant ledgers. *)
+   completed or relocated away (the scheduler drained), histogram sample
+   counts match the jobs that produced them, and the registry's global
+   counters agree with the per-tenant ledgers. *)
 let check_report ~registry ~fq tenants =
   let fail = Chipsim.Invariant.fail in
   Array.iter
@@ -142,15 +154,15 @@ let check_report ~registry ~fq tenants =
       if st.submitted <> st.admitted + st.shed then
         fail "serve: tenant %s saw %d arrivals but admitted %d + shed %d" name
           st.submitted st.admitted st.shed;
-      if st.completed <> st.admitted then
-        fail "serve: tenant %s admitted %d jobs but completed %d" name
-          st.admitted st.completed;
+      if st.completed + st.relocated_out <> st.admitted then
+        fail "serve: tenant %s admitted %d jobs but completed %d + relocated %d"
+          name st.admitted st.completed st.relocated_out;
       if Histogram.count st.lat_hist <> st.completed then
         fail "serve: tenant %s recorded %d latency samples for %d completions"
           name (Histogram.count st.lat_hist) st.completed;
-      if Histogram.count st.wait_hist <> st.admitted then
-        fail "serve: tenant %s recorded %d queue-wait samples for %d admissions"
-          name (Histogram.count st.wait_hist) st.admitted;
+      if Histogram.count st.wait_hist <> st.admitted - st.relocated_out then
+        fail "serve: tenant %s recorded %d queue-wait samples for %d dispatches"
+          name (Histogram.count st.wait_hist) (st.admitted - st.relocated_out);
       if st.slo_violations > st.completed then
         fail "serve: tenant %s counts %d SLO violations over %d completions"
           name st.slo_violations st.completed)
@@ -174,9 +186,39 @@ let check_report ~registry ~fq tenants =
   if counter "serve.completed" <> sum (fun st -> st.completed) then
     fail "serve: registry counts %d completions, tenants %d"
       (counter "serve.completed")
-      (sum (fun st -> st.completed))
+      (sum (fun st -> st.completed));
+  if counter "serve.relocated_out" <> sum (fun st -> st.relocated_out) then
+    fail "serve: registry counts %d relocations out, tenants %d"
+      (counter "serve.relocated_out")
+      (sum (fun st -> st.relocated_out))
 
-let run inst cfg =
+(* -- serving session ----------------------------------------------------
+
+   All of the serving loop's mutable state, so a run can be driven two
+   ways: [run] drives arrivals in-sim to completion on one machine, and
+   the fleet tier drives N sessions epoch-by-epoch — submitting routed
+   jobs from outside, draining each shard up to a dispatch horizon, and
+   pulling queued jobs back out when a shard degrades. *)
+type session = {
+  inst : Systems.instance;
+  cfg : config;
+  sched : Sched.t;
+  env : Workloads.Exec_env.t;
+  data : Job.data;
+  registry : Metrics.t;
+  tenants : tenant_state array;
+  fq : pending Fair_queue.t;
+  inflight : int ref;
+  next_job_id : int ref;
+  base_hooks : Sched.hooks;
+  mutable horizon : float;
+      (** dispatch horizon: queued jobs whose (clamped) start time would
+          reach this are left queued — epoch-driven callers use it to
+          stop dispatch at the epoch boundary *)
+  mutable makespan : float;
+}
+
+let create inst cfg =
   validate cfg;
   let env = inst.Systems.env in
   let sched = env.Workloads.Exec_env.sched in
@@ -185,8 +227,6 @@ let run inst cfg =
   Metrics.set_gauge registry "serve.effective_capacity"
     (Chipsim.Modifiers.online_capacity (Machine.modifiers inst.Systems.machine));
   let data = Job.prepare env cfg.data in
-
-  (* tenant state, fair queue, admission *)
   let tenants =
     List.mapi
       (fun idx t ->
@@ -209,6 +249,8 @@ let run inst cfg =
           admitted = 0;
           shed = 0;
           completed = 0;
+          relocated_out = 0;
+          relocated_in = 0;
           slo_violations = 0;
           lat_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".latency_ns");
           wait_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".queue_wait_ns");
@@ -218,8 +260,6 @@ let run inst cfg =
   in
   let fq = Fair_queue.create () in
   Array.iter (fun st -> Fair_queue.add_tenant fq ~tenant:st.idx ~weight:st.cfg_t.weight) tenants;
-  let inflight = ref 0 in
-  let next_job_id = ref 0 in
 
   (* trace sink: under CHARM wire every layer (scheduler, policy,
      controller, memory manager); baselines get the scheduler events *)
@@ -229,12 +269,6 @@ let run inst cfg =
       | Some rt -> Charm.Runtime.attach_trace rt tr
       | None -> Sched.set_trace sched (Some tr))
   | None -> ());
-  let trace_job ~phase ~tenant ~kind ~job_id ~at_ns =
-    match cfg.trace with
-    | Some tr when Engine.Trace.enabled tr ->
-        Engine.Trace.job tr ~phase ~tenant ~kind:(Job.kind_name kind) ~job_id ~at_ns
-    | _ -> ()
-  in
 
   (* observability hooks: count scheduler quanta and, when tracing, sample
      the machine-wide fill-class counters once per interval of virtual
@@ -270,123 +304,326 @@ let run inst cfg =
           | _ -> ());
           base_hooks.Sched.on_quantum_end s w);
     };
+  {
+    inst;
+    cfg;
+    sched;
+    env;
+    data;
+    registry;
+    tenants;
+    fq;
+    inflight = ref 0;
+    next_job_id = ref 0;
+    base_hooks;
+    horizon = infinity;
+    makespan = 0.0;
+  }
 
-  (* dispatcher: drain the fair queue into at most [max_inflight]
-     concurrently running jobs, each a future-dispatched scheduler task *)
-  let rec pump ctx =
-    if !inflight < cfg.max_inflight then
-      match Fair_queue.pop fq with
-      | None -> ()
-      | Some (tidx, p) ->
-          let st = tenants.(tidx) in
-          incr inflight;
-          Metrics.set_gauge registry "serve.inflight" (float_of_int !inflight);
-          (* a job cannot start before it arrived: clamp the dispatch time
-             so a thief worker with a lagging clock cannot run it "in the
-             past" and produce negative latencies *)
-          let start_at = Float.max (Sched.Ctx.now ctx) p.submit_ns in
+let trace_job sess ~phase ~tenant ~kind ~job_id ~at_ns =
+  match sess.cfg.trace with
+  | Some tr when Engine.Trace.enabled tr ->
+      Engine.Trace.job tr ~phase ~tenant ~kind:(Job.kind_name kind) ~job_id ~at_ns
+  | _ -> ()
+
+(* dispatcher: drain the fair queue into at most [max_inflight]
+   concurrently running jobs, each a future-dispatched scheduler task.
+   Stalls (without reordering — [peek], not pop-and-requeue, which would
+   perturb the fair queue's virtual-time tags) when the head job cannot
+   start before the dispatch horizon. *)
+let rec pump sess ctx =
+  if !(sess.inflight) < sess.cfg.max_inflight then
+    match Fair_queue.peek sess.fq with
+    | None -> ()
+    | Some (tidx, p) ->
+        (* a job cannot start before it arrived: clamp the dispatch time
+           so a thief worker with a lagging clock cannot run it "in the
+           past" and produce negative latencies *)
+        let start_at = Float.max (Sched.Ctx.now ctx) p.submit_ns in
+        if start_at >= sess.horizon then ()
+        else begin
+          ignore (Fair_queue.pop sess.fq : (int * pending) option);
+          let st = sess.tenants.(tidx) in
+          incr sess.inflight;
+          Metrics.set_gauge sess.registry "serve.inflight"
+            (float_of_int !(sess.inflight));
           Histogram.observe st.wait_hist (start_at -. p.submit_ns);
-          trace_job ~phase:Engine.Trace.Start ~tenant:st.cfg_t.name ~kind:p.kind
-            ~job_id:p.id ~at_ns:start_at;
+          trace_job sess ~phase:Engine.Trace.Start ~tenant:st.cfg_t.name
+            ~kind:p.kind ~job_id:p.id ~at_ns:start_at;
           ignore
             (Future.spawn_at ctx ~at:start_at (fun ctx' ->
-                 let items = Job.run ctx' data ~seed:p.job_seed p.kind in
-                 complete ctx' st p items)
+                 let items = Job.run ctx' sess.data ~seed:p.job_seed p.kind in
+                 complete sess ctx' st p items)
               : unit Future.t);
-          pump ctx
-  and complete ctx st p items =
-    let fin = Sched.Ctx.now ctx in
-    let latency = fin -. p.submit_ns in
-    trace_job ~phase:Engine.Trace.Finish ~tenant:st.cfg_t.name ~kind:p.kind
-      ~job_id:p.id ~at_ns:fin;
-    decr inflight;
-    st.completed <- st.completed + 1;
-    Histogram.observe st.lat_hist latency;
-    Metrics.observe registry "serve.latency_ns" latency;
-    Metrics.incr registry "serve.completed";
-    Metrics.incr registry ~by:items "serve.work_items";
-    Metrics.incr registry ("serve.jobs." ^ Job.kind_name p.kind);
-    if latency > st.slo then begin
-      st.slo_violations <- st.slo_violations + 1;
-      Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".slo_violations")
-    end;
-    (match cfg.on_complete with
-    | Some f ->
-        f ~tenant:st.cfg_t.name ~kind:p.kind ~submit_ns:p.submit_ns
-          ~finish_ns:fin
-    | None -> ());
-    Future.fulfill ctx p.done_f fin;
-    pump ctx
-  in
+          pump sess ctx
+        end
 
-  (* [arrival] is the job's nominal arrival instant: the Poisson timestamp
-     for open-loop tenants (latency is measured from offered arrival, even
-     if the acceptor task processed it late), the client's clock for
-     closed-loop ones *)
-  let submit ctx st ~arrival kind =
-    let now = arrival in
-    (* arrival conservation, checked before this arrival is counted: every
-       prior submission was either admitted or shed, never both or neither *)
-    if cfg.check && st.submitted <> st.admitted + st.shed then
-      Chipsim.Invariant.fail
-        "serve: tenant %s saw %d arrivals but admitted %d + shed %d"
-        st.cfg_t.name st.submitted st.admitted st.shed;
-    st.submitted <- st.submitted + 1;
-    let job_id = !next_job_id in
-    incr next_job_id;
-    Metrics.incr registry "serve.submitted";
-    (* degradation-aware admission: queue bounds shrink with the machine's
-       effective compute capacity (offline / DVFS-throttled cores), so a
-       faulted machine sheds early instead of queueing work it cannot
-       drain within the wait bound *)
-    let capacity =
-      Chipsim.Modifiers.online_capacity (Machine.modifiers inst.Systems.machine)
-    in
-    Metrics.set_gauge registry "serve.effective_capacity" capacity;
-    let decision =
-      Admission.decide
-        (Admission.scale cfg.admission ~capacity)
-        ~tenant_depth:(Fair_queue.tenant_depth fq ~tenant:st.idx)
-        ~global_depth:(Fair_queue.length fq)
-    in
-    match decision with
-    | Admission.Admit ->
-        st.admitted <- st.admitted + 1;
-        Metrics.incr registry "serve.admitted";
-        trace_job ~phase:Engine.Trace.Admit ~tenant:st.cfg_t.name ~kind
-          ~job_id ~at_ns:now;
-        let p =
-          {
-            id = job_id;
-            tenant = st.idx;
-            kind;
-            job_seed = Engine.Rng.int st.mix_rng 0x3FFFFFFF;
-            submit_ns = now;
-            done_f = Future.create ();
-          }
+and complete sess ctx st p items =
+  let fin = Sched.Ctx.now ctx in
+  let latency = fin -. p.submit_ns in
+  trace_job sess ~phase:Engine.Trace.Finish ~tenant:st.cfg_t.name ~kind:p.kind
+    ~job_id:p.id ~at_ns:fin;
+  decr sess.inflight;
+  st.completed <- st.completed + 1;
+  Histogram.observe st.lat_hist latency;
+  Metrics.observe sess.registry "serve.latency_ns" latency;
+  Metrics.incr sess.registry "serve.completed";
+  Metrics.incr sess.registry ~by:items "serve.work_items";
+  Metrics.incr sess.registry ("serve.jobs." ^ Job.kind_name p.kind);
+  if latency > st.slo then begin
+    st.slo_violations <- st.slo_violations + 1;
+    Metrics.incr sess.registry ("tenant." ^ st.cfg_t.name ^ ".slo_violations")
+  end;
+  (match sess.cfg.on_complete with
+  | Some f ->
+      f ~tenant:st.cfg_t.name ~kind:p.kind ~submit_ns:p.submit_ns ~finish_ns:fin
+  | None -> ());
+  Future.fulfill ctx p.done_f fin;
+  pump sess ctx
+
+(* Shared admission path.  [job_seed] individualises the job; the in-sim
+   driver draws it from the tenant's mix RNG only on admission (shed
+   arrivals must not consume draws), external drivers supply it. *)
+let admit_or_shed sess st ~job_id ~arrival ~kind ~seed_of =
+  let now = arrival in
+  (* arrival conservation, checked before this arrival is counted: every
+     prior submission was either admitted or shed, never both or neither *)
+  if sess.cfg.check && st.submitted <> st.admitted + st.shed then
+    Chipsim.Invariant.fail
+      "serve: tenant %s saw %d arrivals but admitted %d + shed %d"
+      st.cfg_t.name st.submitted st.admitted st.shed;
+  st.submitted <- st.submitted + 1;
+  Metrics.incr sess.registry "serve.submitted";
+  (* degradation-aware admission: queue bounds shrink with the machine's
+     effective compute capacity (offline / DVFS-throttled cores), so a
+     faulted machine sheds early instead of queueing work it cannot
+     drain within the wait bound *)
+  let capacity =
+    Chipsim.Modifiers.online_capacity (Machine.modifiers sess.inst.Systems.machine)
+  in
+  Metrics.set_gauge sess.registry "serve.effective_capacity" capacity;
+  let decision =
+    Admission.decide
+      (Admission.scale sess.cfg.admission ~capacity)
+      ~tenant_depth:(Fair_queue.tenant_depth sess.fq ~tenant:st.idx)
+      ~global_depth:(Fair_queue.length sess.fq)
+  in
+  match decision with
+  | Admission.Admit ->
+      st.admitted <- st.admitted + 1;
+      Metrics.incr sess.registry "serve.admitted";
+      trace_job sess ~phase:Engine.Trace.Admit ~tenant:st.cfg_t.name ~kind
+        ~job_id ~at_ns:now;
+      let p =
+        {
+          id = job_id;
+          tenant = st.idx;
+          kind;
+          job_seed = seed_of ();
+          submit_ns = now;
+          done_f = Future.create ();
+        }
+      in
+      Fair_queue.push sess.fq ~tenant:st.idx
+        ~cost:(Job.cost_estimate sess.data kind)
+        p;
+      Metrics.set_gauge sess.registry "serve.queue_depth"
+        (float_of_int (Fair_queue.length sess.fq));
+      (decision, Some p)
+  | (Admission.Shed_tenant_full | Admission.Shed_server_full) as d ->
+      st.shed <- st.shed + 1;
+      trace_job sess ~phase:Engine.Trace.Shed ~tenant:st.cfg_t.name ~kind
+        ~job_id ~at_ns:now;
+      Metrics.incr sess.registry "serve.shed";
+      Metrics.incr sess.registry ("serve.shed." ^ Admission.decision_name d);
+      Metrics.incr sess.registry ("tenant." ^ st.cfg_t.name ^ ".shed");
+      (d, None)
+
+(* [arrival] is the job's nominal arrival instant: the Poisson timestamp
+   for open-loop tenants (latency is measured from offered arrival, even
+   if the acceptor task processed it late), the client's clock for
+   closed-loop ones *)
+let submit_in_sim sess ctx st ~arrival kind =
+  let job_id = !(sess.next_job_id) in
+  incr sess.next_job_id;
+  match
+    admit_or_shed sess st ~job_id ~arrival ~kind ~seed_of:(fun () ->
+        Engine.Rng.int st.mix_rng 0x3FFFFFFF)
+  with
+  | _, Some p ->
+      pump sess ctx;
+      p.done_f
+  | _, None ->
+      (* back-pressure signal: the caller's future resolves immediately,
+         so closed-loop clients retry after their think time *)
+      let f = Future.create () in
+      Future.fulfill ctx f arrival;
+      f
+
+let submit_external sess ~tenant ~job_id ~arrival ~kind ~job_seed =
+  if tenant < 0 || tenant >= Array.length sess.tenants then
+    invalid_arg "Server.Session.submit: tenant index out of range";
+  fst
+    (admit_or_shed sess sess.tenants.(tenant) ~job_id ~arrival ~kind
+       ~seed_of:(fun () -> job_seed))
+
+let drain sess ~horizon ~kick_ns =
+  sess.horizon <- horizon;
+  if Fair_queue.length sess.fq > 0 then begin
+    ignore (Sched.spawn sess.sched ~at:kick_ns (fun ctx -> pump sess ctx) : Sched.task);
+    let m = Sched.run sess.sched in
+    sess.makespan <- Float.max sess.makespan m
+  end
+
+let drop_queued sess =
+  let rec go acc =
+    match Fair_queue.pop sess.fq with
+    | None -> List.rev acc
+    | Some (tidx, p) ->
+        let st = sess.tenants.(tidx) in
+        st.relocated_out <- st.relocated_out + 1;
+        Metrics.incr sess.registry "serve.relocated_out";
+        go
+          ({
+             r_id = p.id;
+             r_tenant = tidx;
+             r_kind = p.kind;
+             r_seed = p.job_seed;
+             r_submit_ns = p.submit_ns;
+           }
+          :: acc)
+  in
+  let dropped = go [] in
+  Metrics.set_gauge sess.registry "serve.queue_depth"
+    (float_of_int (Fair_queue.length sess.fq));
+  dropped
+
+let note_relocated_in sess ~tenant =
+  if tenant >= 0 && tenant < Array.length sess.tenants then begin
+    let st = sess.tenants.(tenant) in
+    st.relocated_in <- st.relocated_in + 1;
+    Metrics.incr sess.registry "serve.relocated_in"
+  end
+
+let queue_length sess = Fair_queue.length sess.fq
+let tenant_queue_depth sess ~tenant = Fair_queue.tenant_depth sess.fq ~tenant
+
+let queued_cost sess =
+  (* Fair_queue does not expose iteration, so approximate the queued
+     service demand as depth x mean mix cost per tenant — stable,
+     deterministic and monotone with the real backlog. *)
+  let total = ref 0.0 in
+  Array.iter
+    (fun st ->
+      let mean_cost =
+        let num, den =
+          List.fold_left
+            (fun (num, den) (k, w) ->
+              (num +. (float_of_int w *. Job.cost_estimate sess.data k), den + w))
+            (0.0, 0) st.cfg_t.mix
         in
-        Fair_queue.push fq ~tenant:st.idx ~cost:(Job.cost_estimate data kind) p;
-        Metrics.set_gauge registry "serve.queue_depth"
-          (float_of_int (Fair_queue.length fq));
-        pump ctx;
-        p.done_f
-    | (Admission.Shed_tenant_full | Admission.Shed_server_full) as d ->
-        st.shed <- st.shed + 1;
-        trace_job ~phase:Engine.Trace.Shed ~tenant:st.cfg_t.name ~kind ~job_id
-          ~at_ns:now;
-        Metrics.incr registry "serve.shed";
-        Metrics.incr registry ("serve.shed." ^ Admission.decision_name d);
-        Metrics.incr registry ("tenant." ^ st.cfg_t.name ^ ".shed");
-        (* back-pressure signal: the caller's future resolves immediately,
-           so closed-loop clients retry after their think time *)
-        let f = Future.create () in
-        Future.fulfill ctx f now;
-        f
-  in
+        num /. float_of_int den
+      in
+      total :=
+        !total
+        +. (float_of_int (Fair_queue.tenant_depth sess.fq ~tenant:st.idx) *. mean_cost))
+    sess.tenants;
+  !total
 
+let backlog_ns sess =
+  let m = ref 0.0 in
+  for w = 0 to Sched.n_workers sess.sched - 1 do
+    m := Float.max !m (Sched.worker_clock sess.sched w)
+  done;
+  !m
+
+let cost_estimate sess kind = Job.cost_estimate sess.data kind
+let session_registry sess = sess.registry
+let session_instance sess = sess.inst
+
+let finish sess =
+  Sched.set_hooks sess.sched sess.base_hooks;
+  (* flow end-of-run profiler / trace / machine statistics into the registry *)
+  (match sess.inst.Systems.charm with
+  | Some rt ->
+      let prof = Charm.Runtime.profiler rt in
+      for w = 0 to Charm.Runtime.n_workers rt - 1 do
+        let s = Charm.Profiler.cumulative prof ~worker:w in
+        Metrics.incr sess.registry ~by:s.Charm.Profiler.local_hits "profiler.local_hits";
+        Metrics.incr sess.registry ~by:s.Charm.Profiler.remote_chiplet "profiler.remote_chiplet";
+        Metrics.incr sess.registry ~by:s.Charm.Profiler.remote_numa "profiler.remote_numa";
+        Metrics.incr sess.registry ~by:s.Charm.Profiler.dram "profiler.dram"
+      done
+  | None -> ());
+  (match sess.cfg.trace with
+  | Some tr ->
+      Metrics.set_gauge sess.registry "trace.events"
+        (float_of_int (Engine.Trace.num_events tr))
+  | None -> ());
+  let stats = Systems.report sess.inst in
+  let acc = stats.Engine.Stats.accesses in
+  Metrics.incr sess.registry ~by:acc.Engine.Stats.local_chiplet "fills.local_chiplet";
+  Metrics.incr sess.registry ~by:acc.Engine.Stats.remote_chiplet "fills.remote_chiplet";
+  Metrics.incr sess.registry ~by:acc.Engine.Stats.remote_numa "fills.remote_numa";
+  Metrics.incr sess.registry ~by:acc.Engine.Stats.dram "fills.dram";
+  Metrics.set_gauge sess.registry "serve.makespan_ns" sess.makespan;
+  let tenant_reports =
+    Array.to_list sess.tenants
+    |> List.map (fun st ->
+           {
+             tenant = st.cfg_t.name;
+             submitted = st.submitted;
+             admitted = st.admitted;
+             shed = st.shed;
+             completed = st.completed;
+             relocated_out = st.relocated_out;
+             relocated_in = st.relocated_in;
+             slo_ns = st.slo;
+             slo_violations = st.slo_violations;
+             latency = st.lat_hist;
+             queue_wait = st.wait_hist;
+           })
+  in
+  if sess.cfg.check then
+    check_report ~registry:sess.registry ~fq:sess.fq sess.tenants;
+  {
+    makespan_ns = sess.makespan;
+    tenant_reports;
+    registry = sess.registry;
+    stats;
+  }
+
+module Session = struct
+  type t = session
+
+  type nonrec relocatable = relocatable = {
+    r_id : int;
+    r_tenant : int;
+    r_kind : Job.kind;
+    r_seed : int;
+    r_submit_ns : float;
+  }
+
+  let create = create
+  let submit = submit_external
+  let drain = drain
+  let drop_queued = drop_queued
+  let note_relocated_in = note_relocated_in
+  let queue_length = queue_length
+  let tenant_queue_depth = tenant_queue_depth
+  let queued_cost = queued_cost
+  let backlog_ns = backlog_ns
+  let cost_estimate = cost_estimate
+  let registry = session_registry
+  let instance = session_instance
+  let finish = finish
+end
+
+let run inst cfg =
+  let sess = create inst cfg in
   (* drive: one source per tenant, spawned from the main task *)
   let makespan =
-    env.Workloads.Exec_env.run (fun ctx ->
+    sess.env.Workloads.Exec_env.run (fun ctx ->
         Array.iter
           (fun st ->
             match st.cfg_t.process with
@@ -408,7 +645,9 @@ let run inst cfg =
                       (Sched.Ctx.spawn ctx' ~at:times.(k + 1) (arrive (k + 1))
                         : Sched.task);
                   let kind = pick_kind st in
-                  ignore (submit ctx' st ~arrival:times.(k) kind : float Future.t)
+                  ignore
+                    (submit_in_sim sess ctx' st ~arrival:times.(k) kind
+                      : float Future.t)
                 in
                 if n > 0 then
                   ignore (Sched.Ctx.spawn ctx ~at:times.(0) (arrive 0) : Sched.task)
@@ -424,56 +663,19 @@ let run inst cfg =
                       (Sched.Ctx.spawn ctx (fun ctx' ->
                            for _ = 1 to quota do
                              let kind = pick_kind st in
-                             let f = submit ctx' st ~arrival:(Sched.Ctx.now ctx') kind in
+                             let f =
+                               submit_in_sim sess ctx' st
+                                 ~arrival:(Sched.Ctx.now ctx') kind
+                             in
                              ignore (Future.await ctx' f : float);
                              if think_ns > 0.0 then Sched.Ctx.work ctx' think_ns
                            done)
                         : Sched.task)
                 done)
-          tenants)
+          sess.tenants)
   in
-  Sched.set_hooks sched base_hooks;
-
-  (* flow end-of-run profiler / trace / machine statistics into the registry *)
-  (match inst.Systems.charm with
-  | Some rt ->
-      let prof = Charm.Runtime.profiler rt in
-      for w = 0 to Charm.Runtime.n_workers rt - 1 do
-        let s = Charm.Profiler.cumulative prof ~worker:w in
-        Metrics.incr registry ~by:s.Charm.Profiler.local_hits "profiler.local_hits";
-        Metrics.incr registry ~by:s.Charm.Profiler.remote_chiplet "profiler.remote_chiplet";
-        Metrics.incr registry ~by:s.Charm.Profiler.remote_numa "profiler.remote_numa";
-        Metrics.incr registry ~by:s.Charm.Profiler.dram "profiler.dram"
-      done
-  | None -> ());
-  (match cfg.trace with
-  | Some tr -> Metrics.set_gauge registry "trace.events" (float_of_int (Engine.Trace.num_events tr))
-  | None -> ());
-  let stats = Systems.report inst in
-  let acc = stats.Engine.Stats.accesses in
-  Metrics.incr registry ~by:acc.Engine.Stats.local_chiplet "fills.local_chiplet";
-  Metrics.incr registry ~by:acc.Engine.Stats.remote_chiplet "fills.remote_chiplet";
-  Metrics.incr registry ~by:acc.Engine.Stats.remote_numa "fills.remote_numa";
-  Metrics.incr registry ~by:acc.Engine.Stats.dram "fills.dram";
-  Metrics.set_gauge registry "serve.makespan_ns" makespan;
-
-  let tenant_reports =
-    Array.to_list tenants
-    |> List.map (fun st ->
-           {
-             tenant = st.cfg_t.name;
-             submitted = st.submitted;
-             admitted = st.admitted;
-             shed = st.shed;
-             completed = st.completed;
-             slo_ns = st.slo;
-             slo_violations = st.slo_violations;
-             latency = st.lat_hist;
-             queue_wait = st.wait_hist;
-           })
-  in
-  if cfg.check then check_report ~registry ~fq tenants;
-  { makespan_ns = makespan; tenant_reports; registry; stats }
+  sess.makespan <- makespan;
+  finish sess
 
 let report_to_json r =
   let obj fields =
@@ -502,6 +704,8 @@ let report_to_json r =
         ("admitted", string_of_int tr.admitted);
         ("shed", string_of_int tr.shed);
         ("completed", string_of_int tr.completed);
+        ("relocated_out", string_of_int tr.relocated_out);
+        ("relocated_in", string_of_int tr.relocated_in);
         ("slo_ns", f tr.slo_ns);
         ("slo_violations", string_of_int tr.slo_violations);
         ("latency_ns", Metrics.json_of_histogram tr.latency);

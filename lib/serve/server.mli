@@ -71,6 +71,10 @@ type tenant_report = {
   admitted : int;
   shed : int;
   completed : int;
+  relocated_out : int;
+      (** admitted jobs pulled back out of the queue by a fleet router
+          (0 outside fleet mode); [completed + relocated_out = admitted] *)
+  relocated_in : int;  (** arrivals that were relocations from another shard *)
   slo_ns : float;
   slo_violations : int;
   latency : Histogram.t;  (** sojourn time: completion - arrival, ns *)
@@ -88,6 +92,80 @@ val run : Harness.Systems.instance -> config -> report
 (** Run the full serving experiment on a fresh instance.
     @raise Invalid_argument on an empty tenant list, an empty mix,
     [max_inflight < 1], or non-positive weights/jobs. *)
+
+(** An externally-driven serving session — the fleet tier's view of one
+    machine.
+
+    [run] above drives arrivals in-sim to completion; a [Session] instead
+    lets a cluster router drive the machine epoch by epoch: {!Session.submit}
+    pushes routed jobs through the shard's own admission control,
+    {!Session.drain} advances the simulation dispatching only jobs that
+    can start before a horizon (so queues persist across epochs under
+    overload), and {!Session.drop_queued} pulls still-queued jobs back
+    out for relocation when the shard degrades.  {!Session.finish} must
+    be called exactly once, after a final drain with an infinite
+    horizon. *)
+module Session : sig
+  type t
+
+  type relocatable = {
+    r_id : int;  (** cluster-unique job id, preserved across relocation *)
+    r_tenant : int;  (** tenant index (fleet shards share the tenant list) *)
+    r_kind : Job.kind;
+    r_seed : int;
+    r_submit_ns : float;  (** original arrival instant — latency is
+                              measured from first submission, so a
+                              relocated job pays for its detour *)
+  }
+
+  val create : Harness.Systems.instance -> config -> t
+  (** Prepare datasets, tenant ledgers and observability hooks; arrival
+      processes in the config are ignored ([submit] drives arrivals).
+      @raise Invalid_argument as {!run}. *)
+
+  val submit :
+    t -> tenant:int -> job_id:int -> arrival:float -> kind:Job.kind ->
+    job_seed:int -> Admission.decision
+  (** Offer one job to the shard's admission controller at virtual time
+      [arrival].  Admitted jobs queue until the next {!drain}.
+      @raise Invalid_argument on a tenant index out of range. *)
+
+  val drain : t -> horizon:float -> kick_ns:float -> unit
+  (** Run the shard's scheduler until every dispatched job completes,
+      dispatching only queued jobs whose start time (clamped to their
+      arrival) is before [horizon].  [kick_ns] is the virtual time the
+      dispatcher wakes (normally the epoch start).  No-op when nothing
+      is queued. *)
+
+  val drop_queued : t -> relocatable list
+  (** Remove every still-queued (admitted, not dispatched) job, crediting
+      each tenant's [relocated_out] ledger; in-flight and completed jobs
+      are untouched.  The caller re-submits them elsewhere. *)
+
+  val note_relocated_in : t -> tenant:int -> unit
+  (** Record that the next [submit] for this tenant is a relocation
+      (ledger only; out-of-range indices are ignored). *)
+
+  val queue_length : t -> int
+  val tenant_queue_depth : t -> tenant:int -> int
+
+  val queued_cost : t -> float
+  (** Estimated service demand queued on the shard (tenant depth x mean
+      mix cost) — a router load signal. *)
+
+  val backlog_ns : t -> float
+  (** Max worker clock: how far the shard's virtual time has advanced. *)
+
+  val cost_estimate : t -> Job.kind -> float
+  val registry : t -> Metrics.t
+  val instance : t -> Harness.Systems.instance
+
+  val finish : t -> report
+  (** Tear down hooks, fold profiler/machine statistics into the registry
+      and build the report; with [check] set, verifies the serving
+      invariants including the relocation ledger
+      ([completed + relocated_out = admitted]). *)
+end
 
 val report_to_json : report -> string
 (** Deterministic JSON: run summary, per-tenant percentiles and SLO/shed

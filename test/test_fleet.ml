@@ -1,0 +1,215 @@
+(* The fleet tier: router determinism, relocation semantics, the router's
+   offline floor, and the planted-bug invariant gates. *)
+
+module Sys_ = Harness.Systems
+module Server = Serving.Server
+module Cluster = Fleet.Cluster
+module Router = Fleet.Router
+module Schedule = Faults.Schedule
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let base_config ?(jobs = 12) ?(rate = 8000.0) ~seed () =
+  let base = Cluster.default_config ~seed in
+  let serve = base.Cluster.serve in
+  let tenants =
+    List.map
+      (fun t ->
+        {
+          t with
+          Server.process = Serving.Arrivals.Open_loop { rate_per_s = rate };
+          jobs;
+        })
+      serve.Server.tenants
+  in
+  {
+    base with
+    Cluster.n_workers = 8;
+    serve = { serve with Server.tenants; check = true };
+  }
+
+let topo = Sys_.topology Sys_.Amd_milan ~cache_scale:16
+
+(* mild faults barely dent a 128-core machine's online capacity, so the
+   degradation scenarios throttle every core — heavy enough to cross the
+   relocation threshold *)
+let quarter_speed_everywhere ~at_us =
+  List.init (Chipsim.Topology.num_cores topo) (fun core ->
+      {
+        Schedule.at_ns = at_us *. 1e3;
+        kind = Schedule.Dvfs { core; speed = 0.2 };
+      })
+
+let all_cores_off =
+  List.init (Chipsim.Topology.num_cores topo) (fun core ->
+      { Schedule.at_ns = 0.0; kind = Schedule.Core_off core })
+
+(* -- determinism -------------------------------------------------------- *)
+
+let test_router_determinism () =
+  List.iter
+    (fun policy ->
+      let run () =
+        let cfg =
+          { (base_config ~jobs:8 ~seed:7 ()) with Cluster.policy }
+        in
+        let res = Cluster.run cfg in
+        (res.Cluster.placement_log, Cluster.result_to_json res)
+      in
+      let log1, json1 = run () in
+      let log2, json2 = run () in
+      Alcotest.(check string)
+        (Router.policy_name policy ^ " placement log byte-identical")
+        log1 log2;
+      Alcotest.(check string)
+        (Router.policy_name policy ^ " result json byte-identical")
+        json1 json2)
+    Router.all_policies
+
+let test_seed_changes_placement () =
+  let log seed =
+    (Cluster.run (base_config ~jobs:8 ~seed ())).Cluster.placement_log
+  in
+  Alcotest.(check bool) "different seeds, different logs" true
+    (log 7 <> log 8)
+
+(* -- relocation --------------------------------------------------------- *)
+
+let sum_tenants f (sr : Cluster.shard_result) =
+  List.fold_left
+    (fun acc (tr : Server.tenant_report) -> acc + f tr)
+    0 sr.Cluster.report.Server.tenant_reports
+
+let test_relocation_drains_degraded_only () =
+  let cfg =
+    {
+      (base_config ~jobs:20 ~rate:12_000.0 ~seed:11 ()) with
+      Cluster.faults = [ (0, quarter_speed_everywhere ~at_us:150.0) ];
+    }
+  in
+  let res = Cluster.run cfg in
+  Alcotest.(check bool) "relocations happened" true (res.Cluster.relocations > 0);
+  List.iter
+    (fun (sr : Cluster.shard_result) ->
+      let out = sum_tenants (fun tr -> tr.Server.relocated_out) sr in
+      let in_ = sum_tenants (fun tr -> tr.Server.relocated_in) sr in
+      if sr.Cluster.shard = 0 then begin
+        Alcotest.(check bool) "degraded shard drained" true (out > 0);
+        Alcotest.(check int) "nothing relocated onto the degraded shard" 0 in_
+      end
+      else begin
+        Alcotest.(check int)
+          (Printf.sprintf "healthy shard %d not drained" sr.Cluster.shard)
+          0 out;
+        Alcotest.(check bool) "healthy shard absorbed the drain" true (in_ > 0)
+      end)
+    res.Cluster.shard_results;
+  (* relocation must not lose jobs: the conservation checks already ran
+     inside [Cluster.run] (serve.check), re-run them on the final result *)
+  Cluster.check_result res
+
+let test_no_relocation_flag () =
+  let cfg =
+    {
+      (base_config ~jobs:20 ~rate:12_000.0 ~seed:11 ()) with
+      Cluster.faults = [ (0, quarter_speed_everywhere ~at_us:150.0) ];
+      relocation = false;
+    }
+  in
+  let res = Cluster.run cfg in
+  Alcotest.(check int) "no relocations when disabled" 0 res.Cluster.relocations
+
+(* -- the router's offline floor ----------------------------------------- *)
+
+let test_router_skips_offline_shard () =
+  let cfg =
+    {
+      (base_config ~jobs:10 ~seed:5 ()) with
+      Cluster.faults = [ (1, all_cores_off) ];
+    }
+  in
+  let res = Cluster.run cfg in
+  List.iter
+    (fun (sr : Cluster.shard_result) ->
+      if sr.Cluster.shard = 1 then
+        Alcotest.(check int) "offline shard receives nothing" 0
+          sr.Cluster.placed)
+    res.Cluster.shard_results;
+  Alcotest.(check int) "nothing shed at the router (shard 0 is up)" 0
+    res.Cluster.router_shed
+
+(* -- planted bugs: the invariants must catch them ----------------------- *)
+
+let test_plant_drop_relocated_trips () =
+  let cfg =
+    {
+      (base_config ~jobs:20 ~rate:12_000.0 ~seed:11 ()) with
+      Cluster.faults = [ (0, quarter_speed_everywhere ~at_us:150.0) ];
+      plant = Some Cluster.Drop_relocated;
+    }
+  in
+  match Cluster.run cfg with
+  | _ -> Alcotest.fail "planted drop-relocated bug was not caught"
+  | exception Chipsim.Invariant.Violation msg ->
+      Alcotest.(check bool)
+        ("conservation message names the router: " ^ msg)
+        true
+        (contains msg "router")
+
+let test_plant_route_offline_trips () =
+  let cfg =
+    {
+      (base_config ~jobs:10 ~seed:5 ()) with
+      Cluster.faults = [ (1, all_cores_off) ];
+      plant = Some Cluster.Route_offline;
+    }
+  in
+  match Cluster.run cfg with
+  | _ -> Alcotest.fail "planted route-offline bug was not caught"
+  | exception Chipsim.Invariant.Violation msg ->
+      Alcotest.(check bool)
+        ("message names the offline placement: " ^ msg)
+        true
+        (contains msg "fully-offline")
+
+(* -- merged observability ----------------------------------------------- *)
+
+let test_merged_registry_counters () =
+  let res = Cluster.run (base_config ~jobs:8 ~seed:3 ()) in
+  let reg = res.Cluster.registry in
+  Alcotest.(check int) "fleet.submitted mirrors the router ledger"
+    res.Cluster.router_submitted
+    (Serving.Metrics.counter_value reg "fleet.submitted");
+  Alcotest.(check int) "merged completions cover every arrival"
+    res.Cluster.router_submitted
+    (Serving.Metrics.counter_value reg "serve.completed"
+    + Serving.Metrics.counter_value reg "serve.shed"
+    + res.Cluster.router_shed);
+  Alcotest.(check int) "fleet latency histogram counts completions"
+    (Serving.Metrics.counter_value reg "serve.completed")
+    (Serving.Histogram.count res.Cluster.fleet_latency)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "fleet",
+        [
+          Alcotest.test_case "router determinism" `Quick test_router_determinism;
+          Alcotest.test_case "seed changes placement" `Quick
+            test_seed_changes_placement;
+          Alcotest.test_case "relocation drains degraded only" `Quick
+            test_relocation_drains_degraded_only;
+          Alcotest.test_case "no-relocation flag" `Quick test_no_relocation_flag;
+          Alcotest.test_case "router skips offline shard" `Quick
+            test_router_skips_offline_shard;
+          Alcotest.test_case "planted drop-relocated trips" `Quick
+            test_plant_drop_relocated_trips;
+          Alcotest.test_case "planted route-offline trips" `Quick
+            test_plant_route_offline_trips;
+          Alcotest.test_case "merged registry counters" `Quick
+            test_merged_registry_counters;
+        ] );
+    ]

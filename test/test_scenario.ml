@@ -45,8 +45,8 @@ let test_shrink_candidates () =
   ignore (descend t 0 : int)
 
 let test_repro_rendering () =
-  let seen_batch = ref false and seen_serve = ref false in
-  for seed = 0 to 30 do
+  let seen_batch = ref false and seen_serve = ref false and seen_fleet = ref false in
+  for seed = 0 to 60 do
     let t = Scenario.generate ~mode:Scenario.Smoke ~seed in
     let repro = Scenario.to_repro t in
     let has frag =
@@ -67,9 +67,18 @@ let test_repro_rendering () =
         seen_serve := true;
         Alcotest.(check bool) "serve repro uses charm_serve" true
           (has "charm_serve")
+    | Scenario.Fleet f ->
+        seen_fleet := true;
+        Alcotest.(check bool) "fleet repro uses --fleet" true
+          (has (Printf.sprintf "--fleet %d" f.Scenario.shards));
+        Alcotest.(check bool) "fleet repro names the router policy" true
+          (has "--router");
+        if f.Scenario.fshard_faults <> [] then
+          Alcotest.(check bool) "fleet repro carries --faults-shard" true
+            (has "--faults-shard")
   done;
-  Alcotest.(check bool) "both scenario kinds exercised" true
-    (!seen_batch && !seen_serve)
+  Alcotest.(check bool) "all scenario kinds exercised" true
+    (!seen_batch && !seen_serve && !seen_fleet)
 
 let test_fault_spec_roundtrip () =
   let t = scenario_with_faults () in

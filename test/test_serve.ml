@@ -210,6 +210,44 @@ let test_metrics_registry () =
   Alcotest.(check bool) "counters in json" true (contains json "\"a.count\":5");
   Alcotest.(check bool) "gauges in json" true (contains json "\"b.gauge\":2.5")
 
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a ~by:3 "jobs";
+  Metrics.incr b ~by:4 "jobs";
+  Metrics.incr b "only.b";
+  Metrics.set_gauge a "depth" 1.0;
+  Metrics.set_gauge b "depth" 7.0;
+  Metrics.observe a "lat" 100.0;
+  Metrics.observe b "lat" 1000.0;
+  Metrics.observe b "lat" 2000.0;
+  Metrics.merge a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.counter_value a "jobs");
+  Alcotest.(check int) "src-only counters appear" 1
+    (Metrics.counter_value a "only.b");
+  Alcotest.(check (float 0.0)) "gauges take src (last write wins)" 7.0
+    (Metrics.gauge_value a "depth");
+  Alcotest.(check int) "histograms merge samples" 3
+    (Histogram.count (Metrics.histogram a "lat"));
+  Alcotest.(check int) "src untouched" 4 (Metrics.counter_value b "jobs");
+  Alcotest.(check int) "src histogram untouched" 2
+    (Histogram.count (Metrics.histogram b "lat"))
+
+let test_fair_queue_peek () =
+  let fq = Fair_queue.create () in
+  Fair_queue.add_tenant fq ~tenant:0 ~weight:1.0;
+  Fair_queue.add_tenant fq ~tenant:1 ~weight:2.0;
+  Alcotest.(check bool) "peek on empty" true (Fair_queue.peek fq = None);
+  List.iter
+    (fun i -> Fair_queue.push fq ~tenant:(i mod 2) ~cost:50.0 i)
+    [ 0; 1; 2; 3; 4; 5 ];
+  for _ = 1 to 6 do
+    let p1 = Fair_queue.peek fq in
+    let p2 = Fair_queue.peek fq in
+    Alcotest.(check bool) "peek is stable" true (p1 = p2);
+    Alcotest.(check bool) "peek matches pop" true (p1 = Fair_queue.pop fq)
+  done;
+  Alcotest.(check bool) "drained" true (Fair_queue.peek fq = None)
+
 (* -- end-to-end determinism -------------------------------------------- *)
 
 let run_default seed =
@@ -244,5 +282,7 @@ let suite =
     Alcotest.test_case "fair queue weights" `Quick test_fair_queue_weights;
     Alcotest.test_case "fair queue fifo" `Quick test_fair_queue_fifo_within_tenant;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "fair queue peek" `Quick test_fair_queue_peek;
     Alcotest.test_case "server deterministic" `Quick test_server_deterministic;
   ]
