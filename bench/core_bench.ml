@@ -1,0 +1,173 @@
+(* Core engine throughput: simulated events/sec and wall-clock for three
+   standard scenarios — a batch morsel scan, an online serving run and a
+   small fleet.  This is the perf trajectory of the discrete-event core
+   itself (scheduler event loop + per-access memory model): every PR runs
+   [bench core --json] in CI and diffs events/sec against the committed
+   BENCH_core.json baseline, so "measurably faster" (or slower) is visible
+   per PR.
+
+   A "simulated event" is one unit of discrete-event work the engine
+   retired: a memory access charged through the machine model, a task
+   quantum (context switch), a steal or a migration.  The count is
+   deterministic per scenario (equal seeds), so only wall-clock varies
+   across runs and machines; each scenario runs [reps] times on a fresh
+   machine (cold caches, per the paper's methodology) and reports the best
+   rep to damp scheduler noise. *)
+
+open Chipsim
+module Sched = Engine.Sched
+module Par = Engine.Par
+module Sys_ = Harness.Systems
+module Server = Serving.Server
+module Cluster = Fleet.Cluster
+
+let reps = 3
+let cache_scale = 16
+
+let engine_events machine =
+  let pmu = Machine.pmu machine in
+  Machine.accesses machine
+  + Pmu.total pmu Pmu.Context_switch
+  + Pmu.total pmu Pmu.Task_stolen
+  + Pmu.total pmu Pmu.Migration
+
+(* -- batch: morsel-driven scan + random updates + a fine-grain task storm
+   on a bare scheduler (default hooks, no policy layer) — the least-
+   advanced-worker loop, the deques and the per-access path with nothing
+   else on top *)
+
+let batch_rows = 1 lsl 19
+let batch_scan_iters = 6
+let batch_updates = 1 lsl 18
+let batch_storm_tasks = 1 lsl 12
+
+let run_batch () =
+  let topo = Presets.amd_milan ~scale:cache_scale () in
+  let machine = Machine.create topo in
+  let sched = Sched.create machine ~n_workers:16 ~placement:(fun w -> w) in
+  let region = Machine.alloc machine ~elt_bytes:8 ~count:batch_rows () in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Sched.spawn sched ~worker:0 (fun ctx ->
+         (* phase 1: sequential morsel scans (range path, prefetch-friendly) *)
+         for _ = 1 to batch_scan_iters do
+           Par.parallel_for ctx ~lo:0 ~hi:batch_rows ~grain:2048
+             (fun ctx' lo hi ->
+               Sched.Ctx.read_range ctx' region ~lo ~hi;
+               Sched.Ctx.work ctx' (0.6 *. float_of_int (hi - lo));
+               Sched.Ctx.maybe_yield ctx')
+         done;
+         (* phase 2: scattered read-modify-writes (single-access path,
+            directory + coherence traffic) *)
+         Par.parallel_for ctx ~lo:0 ~hi:batch_updates ~grain:512
+           (fun ctx' lo hi ->
+             for i = lo to hi - 1 do
+               let j = i * 0x9e3779b9 land (batch_rows - 1) in
+               Sched.Ctx.read ctx' region j;
+               Sched.Ctx.write ctx' region j;
+               Sched.Ctx.maybe_yield ctx'
+             done);
+         (* phase 3: storm of tiny compute tasks (deque + steal pressure) *)
+         Par.parallel_for ctx ~lo:0 ~hi:(batch_storm_tasks * 16) ~grain:16
+           (fun ctx' lo hi ->
+             Sched.Ctx.work ctx' (5.0 *. float_of_int (hi - lo))))
+      : Sched.task);
+  let makespan = Sched.run sched in
+  let wall = Unix.gettimeofday () -. t0 in
+  (engine_events machine, wall, makespan)
+
+(* -- serve: the charm_serve configuration at a fixed load on one machine *)
+
+let run_serve () =
+  let inst = Sys_.make ~cache_scale Sys_.Charm Sys_.Amd_milan ~n_workers:16 () in
+  let base = Server.default_config ~seed:42 in
+  let cfg =
+    {
+      base with
+      Server.tenants =
+        List.map
+          (fun t ->
+            {
+              t with
+              Server.process = Serving.Arrivals.Open_loop { rate_per_s = 10_000.0 };
+            })
+          base.Server.tenants;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Server.run inst cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  (engine_events inst.Sys_.machine, wall, r.Server.makespan_ns)
+
+(* -- fleet: a small cluster (event counts multiplied by N shards) *)
+
+let run_fleet () =
+  let base = Cluster.default_config ~seed:42 in
+  let serve = base.Cluster.serve in
+  let tenants =
+    List.map
+      (fun t ->
+        {
+          t with
+          Server.process = Serving.Arrivals.Open_loop { rate_per_s = 8_000.0 };
+          jobs = 30;
+        })
+      serve.Server.tenants
+  in
+  let cfg =
+    {
+      base with
+      Cluster.n_shards = 2;
+      machines = [ Sys_.Amd_milan ];
+      n_workers = 8;
+      cache_scale;
+      serve = { serve with Server.tenants; check = false };
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let res = Cluster.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events =
+    List.fold_left
+      (fun acc (sr : Cluster.shard_result) -> acc + sr.Cluster.sim_events)
+      0 res.Cluster.shard_results
+  in
+  (events, wall, res.Cluster.makespan_ns)
+
+let scenarios =
+  [ ("batch", run_batch); ("serve", run_serve); ("fleet", run_fleet) ]
+
+let run () =
+  Util.section "Core - engine throughput (simulated events/sec per scenario)";
+  Util.row "  %-8s %12s %9s %14s %12s\n" "scenario" "events" "wall(s)"
+    "events/sec" "makespan(us)";
+  List.iter
+    (fun (name, f) ->
+      let best = ref None in
+      let events0 = ref 0 in
+      for _ = 1 to reps do
+        let events, wall, makespan = f () in
+        if !events0 = 0 then events0 := events
+        else if !events0 <> events then begin
+          Printf.eprintf
+            "bench core: %s event count not deterministic (%d vs %d)\n" name
+            !events0 events;
+          exit 1
+        end;
+        match !best with
+        | Some (w, _) when w <= wall -> ()
+        | _ -> best := Some (wall, makespan)
+      done;
+      let wall, makespan = Option.get !best in
+      let eps = float_of_int !events0 /. Float.max 1e-9 wall in
+      Util.row "  %-8s %12d %9.3f %14.0f %12.1f\n" name !events0 wall eps
+        (makespan /. 1e3);
+      Util.json_row ~experiment:"core"
+        [
+          ("scenario", Util.json_str name);
+          ("events", string_of_int !events0);
+          ("wall_s", Util.json_num wall);
+          ("events_per_s", Util.json_num eps);
+          ("makespan_us", Util.json_num (makespan /. 1e3));
+        ])
+    scenarios

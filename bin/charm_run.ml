@@ -107,6 +107,17 @@ let run_workload env inst ~workload ~graph_scale ~query ~seed =
   let report = Sys_.report inst in
   Format.printf "---@.%a@." Engine.Stats.pp report
 
+(* same definition of a simulated event as [bench core]: accesses charged
+   through the machine model plus scheduler events (switches, steals,
+   migrations) *)
+let engine_events machine =
+  let open Chipsim in
+  let pmu = Machine.pmu machine in
+  Machine.accesses machine
+  + Pmu.total pmu Pmu.Context_switch
+  + Pmu.total pmu Pmu.Task_stolen
+  + Pmu.total pmu Pmu.Migration
+
 (* --faults accepts the spec inline or as a path to a spec file *)
 let load_fault_spec spec =
   if Sys.file_exists spec && not (Sys.is_directory spec) then begin
@@ -151,11 +162,17 @@ let main sys machine workers cache_scale workload graph_scale query seed
     (Sys_.sys_name sys)
     (Format.asprintf "%a" Chipsim.Topology.pp (Chipsim.Machine.topology inst.Sys_.machine))
     workers cache_scale;
+  let t0 = Unix.gettimeofday () in
   (match run_workload inst.Sys_.env inst ~workload ~graph_scale ~query ~seed with
   | () -> ()
   | exception Chipsim.Invariant.Violation msg ->
       Printf.eprintf "charm_run: INVARIANT VIOLATION: %s\n" msg;
       exit 3);
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = engine_events inst.Sys_.machine in
+  Printf.printf "engine: %d simulated events in %.3fs (%.3g events/s end-to-end)\n"
+    events wall
+    (float_of_int events /. Float.max 1e-9 wall);
   match (trace, trace_file) with
   | Some tr, Some file ->
       Engine.Trace.save tr file;

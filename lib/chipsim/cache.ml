@@ -27,60 +27,85 @@ let create ?(ways = 16) ~size_bytes ~line_bytes () =
     effective_ways = ways;
   }
 
-type access_result = Hit | Miss of { evicted : int option }
+(* int-coded access results: the per-access path must not allocate, so the
+   outcome is a sentinel rather than a variant (line ids are >= 0, leaving
+   the negatives free) *)
+let hit = -2
+let miss = -1
 
 let set_of_line t line =
   (* mix the high bits in so strided workloads spread across sets *)
   let h = line lxor (line lsr 16) in
   h land (t.sets - 1)
 
+(* inner scans are while-loops over local refs (the compiler keeps
+   non-escaping refs in registers) — a [let rec find] here would allocate
+   a closure on every call without flambda.  Way indices are bounded by
+   [effective_ways <= ways] and the set index is masked, so the unsafe
+   array accesses below cannot escape [sets * ways]. *)
 let access t line =
   t.clock <- t.clock + 1;
   let base = set_of_line t line * t.ways in
-  let rec find i =
-    if i >= t.effective_ways then None
-    else if t.tags.(base + i) = line then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      t.stamps.(base + i) <- t.clock;
-      Hit
-  | None ->
-      (* choose an invalid way, else the LRU way *)
-      let victim = ref 0 and best = ref max_int and free = ref (-1) in
-      for i = 0 to t.effective_ways - 1 do
-        if t.tags.(base + i) = -1 then (if !free = -1 then free := i)
-        else if t.stamps.(base + i) < !best then begin
-          best := t.stamps.(base + i);
-          victim := i
+  let tags = t.tags and stamps = t.stamps in
+  let eff = t.effective_ways in
+  (* single pass: look the line up while tracking the first invalid way
+     and the LRU victim, so a miss needs no second scan over the set (the
+     victim choice — first invalid way, else lowest stamp with ties to
+     the lowest index — is the same one the old two-scan version made) *)
+  let found = ref (-1) in
+  let victim = ref 0 and best = ref max_int and free = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < eff do
+    let tag = Array.unsafe_get tags (base + !i) in
+    if tag = line then found := !i
+    else begin
+      if tag = -1 then (if !free = -1 then free := !i)
+      else begin
+        let s = Array.unsafe_get stamps (base + !i) in
+        if s < !best then begin
+          best := s;
+          victim := !i
         end
-      done;
-      let way = if !free >= 0 then !free else !victim in
-      let evicted = if !free >= 0 then None else Some t.tags.(base + way) in
-      t.tags.(base + way) <- line;
-      t.stamps.(base + way) <- t.clock;
-      Miss { evicted }
+      end;
+      incr i
+    end
+  done;
+  if !found >= 0 then begin
+    Array.unsafe_set stamps (base + !found) t.clock;
+    hit
+  end
+  else begin
+    let way = if !free >= 0 then !free else !victim in
+    let evicted = if !free >= 0 then miss else Array.unsafe_get tags (base + way) in
+    Array.unsafe_set tags (base + way) line;
+    Array.unsafe_set stamps (base + way) t.clock;
+    evicted
+  end
 
 let probe t line =
   let base = set_of_line t line * t.ways in
-  let rec find i =
-    if i >= t.effective_ways then false
-    else t.tags.(base + i) = line || find (i + 1)
-  in
-  find 0
+  let tags = t.tags in
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < t.effective_ways do
+    if Array.unsafe_get tags (base + !i) = line then found := true;
+    incr i
+  done;
+  !found
 
 let invalidate t line =
   let base = set_of_line t line * t.ways in
-  let rec find i =
-    if i >= t.effective_ways then false
-    else if t.tags.(base + i) = line then begin
-      t.tags.(base + i) <- -1;
-      true
-    end
-    else find (i + 1)
-  in
-  find 0
+  let tags = t.tags in
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < t.effective_ways do
+    if Array.unsafe_get tags (base + !i) = line then begin
+      Array.unsafe_set tags (base + !i) (-1);
+      found := true
+    end;
+    incr i
+  done;
+  !found
 
 let clear t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -10,15 +10,19 @@ val create : ?ways:int -> size_bytes:int -> line_bytes:int -> unit -> t
 (** [create ~size_bytes ~line_bytes ()] rounds the number of sets down to a
     power of two.  @raise Invalid_argument if the geometry is degenerate. *)
 
-type access_result =
-  | Hit
-  | Miss of { evicted : int option }
-      (** The line was inserted; [evicted] is the replaced line id if the
-          chosen set was full. *)
+val hit : int
+(** Sentinel (-2) returned by {!access} on a hit. *)
 
-val access : t -> int -> access_result
+val miss : int
+(** Sentinel (-1) returned by {!access} on a miss that filled an empty way
+    (nothing evicted). *)
+
+val access : t -> int -> int
 (** [access t line] looks up [line], inserting it (LRU replacement) on miss
-    and refreshing recency on hit. *)
+    and refreshing recency on hit.  Returns {!hit}, {!miss}, or the evicted
+    line id ([>= 0]) when the chosen set was full.  The result is an int
+    sentinel rather than a variant so the per-access hot path allocates
+    nothing. *)
 
 val probe : t -> int -> bool
 (** Presence test without any state change. *)

@@ -20,4 +20,16 @@ val nearest_holder :
 (** Closest chiplet (by {!Latency.classify_chiplets} order, same chiplet
     excluded) holding the line, or [None] when uncached anywhere else. *)
 
+val nearest_holder_id :
+  Topology.t -> t -> line:int -> from_chiplet:int -> int
+(** Like {!nearest_holder} but int-coded ([-1] = none) so the per-access
+    hot path allocates nothing. *)
+
+val nearest_holder_ranked :
+  t -> line:int -> from_chiplet:int -> ranks:int array -> row:int -> int
+(** Like {!nearest_holder_id}, but distances come from row [row] of the
+    caller's flattened chiplets x chiplets rank matrix ([ranks.(row + c)]
+    is the rank from [from_chiplet] to [c]) instead of per-bit classify
+    calls — the form the {!Machine} fill path uses. *)
+
 val clear : t -> unit

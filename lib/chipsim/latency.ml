@@ -48,6 +48,26 @@ let classify_chiplets topo ca cb =
   then Same_group
   else Same_socket
 
+let rank_of_distance = function
+  | Same_core -> 0
+  | Same_chiplet -> 1
+  | Same_group -> 2
+  | Same_socket -> 3
+  | Cross_socket -> 4
+
+(* cores x cores distance ranks, flattened row-major: schedulers index
+   this on every steal-order refresh instead of re-classifying pairs *)
+let rank_matrix topo =
+  let n = Topology.num_cores topo in
+  let m = Array.make (n * n) 0 in
+  for a = 0 to n - 1 do
+    let row = a * n in
+    for b = 0 to n - 1 do
+      m.(row + b) <- rank_of_distance (classify topo a b)
+    done
+  done;
+  m
+
 let of_distance p = function
   | Same_core -> 0.0
   | Same_chiplet -> p.same_chiplet_ns

@@ -31,6 +31,16 @@ val classify : Topology.t -> int -> int -> distance
 val classify_chiplets : Topology.t -> int -> int -> distance
 (** Distance class between two chiplets (never [Same_core]). *)
 
+val rank_of_distance : distance -> int
+(** Monotone rank of a distance class: 0 = [Same_core] .. 4 =
+    [Cross_socket].  Smaller is closer. *)
+
+val rank_matrix : Topology.t -> int array
+(** [rank_matrix topo] is the [cores * cores] matrix of
+    [rank_of_distance (classify topo a b)], flattened row-major
+    ([a * cores + b]).  Precomputed once so hot scheduler paths resolve
+    core distance by a single array load. *)
+
 val core_to_core_ns : ?profile:profile -> Topology.t -> int -> int -> float
 (** Latency of a cache-to-cache transfer between two cores, with a small
     deterministic per-pair jitter so the CDF is stepped but not degenerate. *)

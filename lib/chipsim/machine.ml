@@ -9,6 +9,28 @@ type t = {
   mem : Simmem.t;
   pmu : Pmu.t;
   mods : Modifiers.t;  (* dynamic fault state, read on every access *)
+  (* per-core / per-chiplet lookup tables: the per-access path resolves
+     core -> chiplet -> socket by indexing instead of dividing *)
+  core_chiplet : int array;
+  core_socket : int array;
+  chiplet_socket : int array;
+  nchiplets : int;
+  line_shift : int;
+      (* log2 line_bytes: addr -> line is a shift, not an integer divide *)
+  chiplet_base_ns : float array;
+      (* chiplets x chiplets base transfer latency
+         (of_distance . classify_chiplets), precomputed so the remote-fill
+         path is one unboxed array read instead of a classify + match *)
+  chiplet_rank : int array;
+      (* chiplets x chiplets distance ranks
+         (rank_of_distance . classify_chiplets), for the nearest-holder
+         scan on the L3-miss path *)
+  scratch_clk : float array;
+      (* 1-slot clock cell backing the float-returning compat wrappers
+         around the [_clk] entry points *)
+  chan_io : float array;
+      (* 2-slot io cell for {!Memchan.charge}: floats cross that module
+         boundary through it instead of boxed arguments/returns *)
   mem_ns : float array;
       (* per-core accumulated memory-access latency: the "latency PMU"
          the health monitor divides by the fill-event count to get a
@@ -22,6 +44,10 @@ type t = {
 let create ?(profile = Latency.default_profile) topo =
   let chiplets = Topology.num_chiplets topo in
   let cores = Topology.num_cores topo in
+  let line_bytes = topo.Topology.line_bytes in
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Machine.create: line_bytes must be a power of two";
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
   {
     topo;
     profile;
@@ -45,6 +71,22 @@ let create ?(profile = Latency.default_profile) topo =
     mem = Simmem.create topo;
     pmu = Pmu.create ~cores;
     mods = Modifiers.create ~cores ~chiplets ~nodes:topo.Topology.sockets;
+    core_chiplet = Array.init cores (fun c -> Topology.chiplet_of_core topo c);
+    core_socket = Array.init cores (fun c -> Topology.socket_of_core topo c);
+    chiplet_socket =
+      Array.init chiplets (fun ch -> Topology.socket_of_chiplet topo ch);
+    nchiplets = chiplets;
+    line_shift = log2 line_bytes 0;
+    chiplet_base_ns =
+      Array.init (chiplets * chiplets) (fun i ->
+          Latency.of_distance profile
+            (Latency.classify_chiplets topo (i / chiplets) (i mod chiplets)));
+    chiplet_rank =
+      Array.init (chiplets * chiplets) (fun i ->
+          Latency.rank_of_distance
+            (Latency.classify_chiplets topo (i / chiplets) (i mod chiplets)));
+    scratch_clk = Array.make 1 0.0;
+    chan_io = Array.make 2 0.0;
     mem_ns = Array.make cores 0.0;
     accesses = 0;
   }
@@ -73,107 +115,149 @@ let mem_capacity_factor t ~node = Memchan.capacity_factor t.chan ~node
 let alloc t ?policy ~elt_bytes ~count () =
   Simmem.alloc t.mem ?policy ~elt_bytes ~count ()
 
-let access_line t ~core ~now_ns ~write ~line =
+(* The core access routine charges the latency directly into the caller's
+   clock cell [clk.(slot)] (an unboxed float-array slot — the scheduler
+   passes each worker's virtual clock).  Nothing float-valued crosses a
+   function boundary on the L2/L3-hit paths, so they allocate nothing;
+   only the fill paths pay the boxed calls into {!Memchan}. *)
+(* Core per-access routine with io-cell calling convention: on entry
+   [clk.(slot)] holds the virtual time, on return it holds the raw access
+   cost (NOT the advanced clock).  Floats cross this boundary through the
+   caller-owned cell, so neither the arguments nor the result box. *)
+let access_line_io t ~core ~write ~line clk slot =
   t.accesses <- t.accesses + 1;
-  let topo = t.topo and p = t.profile in
-  let chiplet = Topology.chiplet_of_core topo core in
-  let socket = Topology.socket_of_core topo core in
+  let now_ns = clk.(slot) in
+  let p = t.profile in
+  let chiplet = t.core_chiplet.(core) in
+  let socket = t.core_socket.(core) in
   (* Core-private L2 filter: reads served by the L2 cost nothing beyond the
      L2 hit latency and generate no chiplet-level traffic. *)
-  let l2 = t.l2.(core) in
-  let l2_hit = match Cache.access l2 line with Cache.Hit -> true | Cache.Miss _ -> false in
+  let l2_res = Cache.access t.l2.(core) line in
   let cost =
-    if l2_hit && not write then begin
+    if l2_res = Cache.hit && not write then begin
       Pmu.incr t.pmu ~core Pmu.L2_hit;
       p.Latency.l2_hit_ns
     end
     else begin
       let l3 = t.l3.(chiplet) in
-      let fill_cost =
-        match Cache.access l3 line with
-        | Cache.Hit ->
-            Pmu.incr t.pmu ~core Pmu.L3_local_hit;
-            p.Latency.same_chiplet_ns
-        | Cache.Miss { evicted } ->
-            (match evicted with
-            | Some victim -> Directory.remove t.dir ~line:victim ~chiplet
-            | None -> ());
-            let cost =
-              match Directory.nearest_holder topo t.dir ~line ~from_chiplet:chiplet with
-              | Some holder ->
-                  let d = Latency.classify_chiplets topo chiplet holder in
-                  let base = Latency.of_distance p d in
-                  let base =
-                    (* degraded cross-socket fabric inflates every hop
-                       between the sockets *)
-                    if Topology.socket_of_chiplet topo holder = socket then base
-                    else base *. Modifiers.xsocket_mult t.mods
-                  in
-                  if Topology.socket_of_chiplet topo holder = socket then
-                    Pmu.incr t.pmu ~core Pmu.Fill_remote_chiplet
-                  else Pmu.incr t.pmu ~core Pmu.Fill_remote_numa;
-                  (* a cache-to-cache transfer occupies both chiplets'
-                     I/O-die links; inter-chiplet traffic therefore
-                     saturates with core count (paper insight 3).  A
-                     degraded link multiplies the latency of every
-                     transfer crossing it. *)
-                  let l1 =
-                    Memchan.access_ns t.links ~node:chiplet ~now_ns
-                      ~base_ns:(base *. Modifiers.link_mult t.mods chiplet)
-                  in
-                  let l2c =
-                    Memchan.access_ns t.links ~node:holder ~now_ns
-                      ~base_ns:(base *. Modifiers.link_mult t.mods holder)
-                  in
-                  Float.max l1 l2c
-              | None ->
-                  let addr = line * topo.Topology.line_bytes in
-                  let home = Simmem.node_of_addr t.mem ~toucher_node:socket addr in
-                  let base =
-                    if home = socket then begin
-                      Pmu.incr t.pmu ~core Pmu.Dram_local;
-                      p.Latency.dram_local_ns
-                    end
-                    else begin
-                      Pmu.incr t.pmu ~core Pmu.Dram_remote;
-                      p.Latency.dram_remote_ns *. Modifiers.xsocket_mult t.mods
-                    end
-                  in
-                  let node_cost =
-                    Memchan.access_ns t.chan ~node:home ~now_ns ~base_ns:base
-                  in
-                  (* DRAM traffic also crosses this chiplet's I/O-die link;
-                     the slower of the two queues dominates *)
-                  let link_cost =
-                    Memchan.access_ns t.links ~node:chiplet ~now_ns
-                      ~base_ns:(base *. Modifiers.link_mult t.mods chiplet)
-                  in
-                  Float.max node_cost link_cost
+      let l3_res = Cache.access l3 line in
+      if l3_res = Cache.hit then begin
+        Pmu.incr t.pmu ~core Pmu.L3_local_hit;
+        p.Latency.same_chiplet_ns
+      end
+      else begin
+        if l3_res >= 0 then Directory.remove t.dir ~line:l3_res ~chiplet;
+        let holder =
+          Directory.nearest_holder_ranked t.dir ~line ~from_chiplet:chiplet
+            ~ranks:t.chiplet_rank ~row:(chiplet * t.nchiplets)
+        in
+        let cost =
+          if holder >= 0 then begin
+            let base0 = t.chiplet_base_ns.((chiplet * t.nchiplets) + holder) in
+            let base =
+              (* degraded cross-socket fabric inflates every hop
+                 between the sockets *)
+              if t.chiplet_socket.(holder) = socket then base0
+              else base0 *. Modifiers.xsocket_mult t.mods
             in
-            Directory.add t.dir ~line ~chiplet;
-            cost
-      in
-      fill_cost
+            if t.chiplet_socket.(holder) = socket then
+              Pmu.incr t.pmu ~core Pmu.Fill_remote_chiplet
+            else Pmu.incr t.pmu ~core Pmu.Fill_remote_numa;
+            (* a cache-to-cache transfer occupies both chiplets'
+               I/O-die links; inter-chiplet traffic therefore
+               saturates with core count (paper insight 3).  A
+               degraded link multiplies the latency of every
+               transfer crossing it. *)
+            let io = t.chan_io in
+            io.(0) <- now_ns;
+            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods chiplet;
+            Memchan.charge t.links ~node:chiplet io;
+            let l1 = io.(0) in
+            io.(0) <- now_ns;
+            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods holder;
+            Memchan.charge t.links ~node:holder io;
+            let l2c = io.(0) in
+            if l1 >= l2c then l1 else l2c
+          end
+          else begin
+            let addr = line lsl t.line_shift in
+            let home = Simmem.node_of_addr t.mem ~toucher_node:socket addr in
+            let base =
+              if home = socket then begin
+                Pmu.incr t.pmu ~core Pmu.Dram_local;
+                p.Latency.dram_local_ns
+              end
+              else begin
+                Pmu.incr t.pmu ~core Pmu.Dram_remote;
+                p.Latency.dram_remote_ns *. Modifiers.xsocket_mult t.mods
+              end
+            in
+            let io = t.chan_io in
+            io.(0) <- now_ns;
+            io.(1) <- base;
+            Memchan.charge t.chan ~node:home io;
+            let node_cost = io.(0) in
+            (* DRAM traffic also crosses this chiplet's I/O-die link;
+               the slower of the two queues dominates *)
+            io.(0) <- now_ns;
+            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods chiplet;
+            Memchan.charge t.links ~node:chiplet io;
+            let link_cost = io.(0) in
+            if node_cost >= link_cost then node_cost else link_cost
+          end
+        in
+        Directory.add t.dir ~line ~chiplet;
+        cost
+      end
     end
   in
   let total =
     if write then begin
       (* Invalidate copies held by other chiplets; the writer becomes the
-         exclusive holder. *)
-      let extra = ref 0.0 in
-      Directory.iter_holders t.dir ~line (fun holder ->
-          if holder <> chiplet then begin
-            ignore (Cache.invalidate t.l3.(holder) line : bool);
+         exclusive holder.  The holder set is walked as a bitmask — no
+         closure, no allocation on this per-write path. *)
+      let others = Directory.holders t.dir line land lnot (1 lsl chiplet) in
+      if others = 0 then begin
+        Directory.set_exclusive t.dir ~line ~chiplet;
+        cost
+      end
+      else begin
+        (* walk only up to the highest set holder bit — typically a
+           handful of chiplets share a line, not the whole machine *)
+        let extra = ref 0.0 in
+        let m = ref others and holder = ref 0 in
+        while !m <> 0 do
+          if !m land 1 <> 0 then begin
+            ignore (Cache.invalidate t.l3.(!holder) line : bool);
             Pmu.incr t.pmu ~core Pmu.Coherence_invalidation;
             extra := !extra +. p.Latency.coherence_inval_ns
-          end);
-      Directory.set_exclusive t.dir ~line ~chiplet;
-      cost +. !extra
+          end;
+          m := !m lsr 1;
+          incr holder
+        done;
+        Directory.set_exclusive t.dir ~line ~chiplet;
+        cost +. !extra
+      end
     end
     else cost
   in
   t.mem_ns.(core) <- t.mem_ns.(core) +. total;
-  total
+  clk.(slot) <- total
+
+let access_line_clk t ~core ~write ~line clk slot =
+  let now_ns = clk.(slot) in
+  access_line_io t ~core ~write ~line clk slot;
+  clk.(slot) <- now_ns +. clk.(slot)
+
+let access_clk t ~core ~write addr clk slot =
+  access_line_clk t ~core ~write ~line:(addr lsr t.line_shift) clk slot
+
+(* float-returning compat wrappers over the scratch clock cell *)
+let access_line t ~core ~now_ns ~write ~line =
+  let c = t.scratch_clk in
+  c.(0) <- now_ns;
+  access_line_io t ~core ~write ~line c 0;
+  c.(0)
 
 let access t ~core ~now_ns ~write addr =
   access_line t ~core ~now_ns ~write ~line:(addr / t.topo.Topology.line_bytes)
@@ -188,19 +272,39 @@ let touch t ~core ~now_ns ~write region i =
    magnitude more bandwidth than a pointer-chasing one. *)
 let prefetch_factor = 0.35
 
+(* io-cell variant: [clk.(slot)] holds the virtual time on entry and the
+   span's total cost on return.  Each line is charged at [now + total-so-
+   far], exactly the evaluation order of a caller summing per-line costs
+   itself, so the clock's float rounding is independent of how a range is
+   chunked. *)
+let touch_range_io t ~core ~write region ~lo ~hi clk slot =
+  let first = Simmem.addr region lo lsr t.line_shift in
+  let last = Simmem.addr region (hi - 1) lsr t.line_shift in
+  let now0 = clk.(slot) in
+  let total = ref 0.0 in
+  for line = first to last do
+    clk.(slot) <- now0 +. !total;
+    access_line_io t ~core ~write ~line clk slot;
+    let cost = clk.(slot) in
+    let cost = if line = first then cost else cost *. prefetch_factor in
+    total := !total +. cost
+  done;
+  clk.(slot) <- !total
+
+let touch_range_clk t ~core ~write region ~lo ~hi clk slot =
+  if lo < hi then begin
+    let now0 = clk.(slot) in
+    touch_range_io t ~core ~write region ~lo ~hi clk slot;
+    clk.(slot) <- now0 +. clk.(slot)
+  end
+
 let touch_range t ~core ~now_ns ~write region ~lo ~hi =
   if lo >= hi then 0.0
   else begin
-    let line_bytes = t.topo.Topology.line_bytes in
-    let first = Simmem.addr region lo / line_bytes in
-    let last = (Simmem.addr region (hi - 1)) / line_bytes in
-    let total = ref 0.0 in
-    for line = first to last do
-      let cost = access_line t ~core ~now_ns:(now_ns +. !total) ~write ~line in
-      let cost = if line = first then cost else cost *. prefetch_factor in
-      total := !total +. cost
-    done;
-    !total
+    let c = t.scratch_clk in
+    c.(0) <- now_ns;
+    touch_range_io t ~core ~write region ~lo ~hi c 0;
+    c.(0)
   end
 
 let core_to_core_ns t a b = Latency.core_to_core_ns ~profile:t.profile t.topo a b

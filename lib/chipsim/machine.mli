@@ -56,6 +56,19 @@ val touch_range :
 (** Sequentially access elements [lo, hi) of a region, touching each covered
     cache line exactly once.  Returns the summed latency. *)
 
+val access_clk : t -> core:int -> write:bool -> int -> float array -> int -> unit
+(** [access_clk t ~core ~write addr clk slot] simulates one access at
+    virtual time [clk.(slot)] and advances [clk.(slot)] by its latency.
+    Charging the caller's clock cell in place keeps boxed floats off the
+    per-access path (the float-returning {!access} is a wrapper over
+    this); the scheduler passes each worker's clock cell directly. *)
+
+val touch_range_clk :
+  t -> core:int -> write:bool -> Simmem.region -> lo:int -> hi:int ->
+  float array -> int -> unit
+(** Clock-cell variant of {!touch_range}: advances [clk.(slot)] by the
+    summed (prefetch-discounted) latency of the range. *)
+
 val core_to_core_ns : t -> int -> int -> float
 val dram_load_ratio : t -> node:int -> now_ns:float -> float
 val dram_bytes_served : t -> node:int -> int

@@ -4,12 +4,15 @@ type t = {
   line_bytes : int;
   capacity_bytes_per_bin : float;  (* per node, at full health *)
   cap_factor : float array;  (* per node, fault throttling in (0, 1] *)
-  (* ring of recent bins per node: bins.(node * ring + (bin mod ring)) *)
+  (* ring of recent bins per node: bins.(node * ring + (bin land mask));
+     ring is a power of two so the wrap is a mask, not an integer divide *)
   ring : int;
+  ring_mask : int;
   bin_ids : int array;  (* which absolute bin each slot currently holds *)
   bin_bytes : int array;
   total_bytes : int array;  (* per node *)
   mutable stale_accesses : int;  (* accesses landing in an already-recycled bin *)
+  scratch_io : float array;  (* backs the float-returning access_ns wrapper *)
 }
 
 let ring_slots = 8192
@@ -20,6 +23,9 @@ let create ?(bin_ns = 1000.0) ?(slots = ring_slots) ~nodes ~channels_per_node
   if channels_per_node <= 0 then
     invalid_arg "Memchan.create: channels_per_node must be positive";
   if slots <= 0 then invalid_arg "Memchan.create: slots must be positive";
+  (* round the ring up to a power of two so slot wrap is a mask *)
+  let rec pow2 n acc = if acc >= n then acc else pow2 n (acc * 2) in
+  let slots = pow2 slots 1 in
   {
     bin_ns;
     nodes;
@@ -28,17 +34,21 @@ let create ?(bin_ns = 1000.0) ?(slots = ring_slots) ~nodes ~channels_per_node
       float_of_int channels_per_node *. bytes_per_ns_per_channel *. bin_ns;
     cap_factor = Array.make nodes 1.0;
     ring = slots;
+    ring_mask = slots - 1;
     bin_ids = Array.make (nodes * slots) (-1);
     bin_bytes = Array.make (nodes * slots) 0;
     total_bytes = Array.make nodes 0;
     stale_accesses = 0;
+    scratch_io = Array.make 2 0.0;
   }
 
-let slot t node bin = (node * t.ring) + (bin mod t.ring)
+let slot t node bin = (node * t.ring) + (bin land t.ring_mask)
 
 (* clamp below at 0 so a (defensive) negative timestamp cannot index into
    another node's slot range *)
-let bin_of t now_ns = max 0 (int_of_float (now_ns /. t.bin_ns))
+let bin_of t now_ns =
+  let b = int_of_float (now_ns /. t.bin_ns) in
+  if b < 0 then 0 else b
 
 let check_node t node =
   if node < 0 || node >= t.nodes then invalid_arg "Memchan: node out of range"
@@ -57,35 +67,57 @@ let current_bytes t node bin =
   let s = slot t node bin in
   if t.bin_ids.(s) = bin then t.bin_bytes.(s) else 0
 
-(* Mild queueing slope below saturation, steep beyond it. *)
-let contention_factor load =
-  if load <= 1.0 then 1.0 +. (0.3 *. load) else 1.3 +. (2.0 *. (load -. 1.0))
+
+(* The hot entry point exchanges its floats through the caller's 2-slot io
+   cell — [io.(0)] holds now_ns on entry and the charged latency on return,
+   [io.(1)] holds base_ns — because boxed float arguments/returns were the
+   last allocation left on the per-access path. *)
+let charge t ~node io =
+  check_node t node;
+  let now_ns = io.(0) and base_ns = io.(1) in
+  let bin = bin_of t now_ns in
+  (* [node] is checked above and [bin] is clamped non-negative, so the
+     ring index and the per-node reads below are in bounds by
+     construction — unsafe accesses keep the per-fill path lean *)
+  let s = slot t node bin in
+  let bin_ids = t.bin_ids and bin_bytes = t.bin_bytes in
+  t.total_bytes.(node) <- t.total_bytes.(node) + t.line_bytes;
+  let demand_bytes =
+    let id = Array.unsafe_get bin_ids s in
+    if id = bin then begin
+      let b = Array.unsafe_get bin_bytes s + t.line_bytes in
+      Array.unsafe_set bin_bytes s b;
+      b
+    end
+    else if id < bin then begin
+      (* fresh (or recycled) bin: the slot's previous occupant is older and
+         its window has passed *)
+      Array.unsafe_set bin_ids s bin;
+      Array.unsafe_set bin_bytes s t.line_bytes;
+      t.line_bytes
+    end
+    else begin
+      (* ring wraparound alias: a lagging worker touches a bin whose slot was
+         already recycled by an access [ring] bins later.  Resetting the slot
+         here would erase the newer bin's demand history (the old silent
+         bug); instead keep the newer bin intact, count the stale access, and
+         charge the lagging access at its own (unknowable) bin's base load. *)
+      t.stale_accesses <- t.stale_accesses + 1;
+      t.line_bytes
+    end
+  in
+  (* contention_factor, hand-inlined: a non-inlined float call here would
+     box its argument and result on every access *)
+  let load = float_of_int demand_bytes /. (t.capacity_bytes_per_bin *. t.cap_factor.(node)) in
+  let f = if load <= 1.0 then 1.0 +. (0.3 *. load) else 1.3 +. (2.0 *. (load -. 1.0)) in
+  io.(0) <- base_ns *. f
 
 let access_ns t ~node ~now_ns ~base_ns =
-  check_node t node;
-  let bin = bin_of t now_ns in
-  let s = slot t node bin in
-  t.total_bytes.(node) <- t.total_bytes.(node) + t.line_bytes;
-  if t.bin_ids.(s) = bin then begin
-    t.bin_bytes.(s) <- t.bin_bytes.(s) + t.line_bytes;
-    base_ns *. contention_factor (float_of_int t.bin_bytes.(s) /. capacity t node)
-  end
-  else if t.bin_ids.(s) < bin then begin
-    (* fresh (or recycled) bin: the slot's previous occupant is older and
-       its window has passed *)
-    t.bin_ids.(s) <- bin;
-    t.bin_bytes.(s) <- t.line_bytes;
-    base_ns *. contention_factor (float_of_int t.line_bytes /. capacity t node)
-  end
-  else begin
-    (* ring wraparound alias: a lagging worker touches a bin whose slot was
-       already recycled by an access [ring] bins later.  Resetting the slot
-       here would erase the newer bin's demand history (the old silent
-       bug); instead keep the newer bin intact, count the stale access, and
-       charge the lagging access at its own (unknowable) bin's base load. *)
-    t.stale_accesses <- t.stale_accesses + 1;
-    base_ns *. contention_factor (float_of_int t.line_bytes /. capacity t node)
-  end
+  let io = t.scratch_io in
+  io.(0) <- now_ns;
+  io.(1) <- base_ns;
+  charge t ~node io;
+  io.(0)
 
 let load_ratio t ~node ~now_ns =
   check_node t node;

@@ -25,12 +25,20 @@ val create :
   unit ->
   t
 (** [slots] is the ring length in bins (default 8192; exposed for
-    wraparound tests). *)
+    wraparound tests).  Rounded up to a power of two so the ring wrap is
+    a mask rather than an integer divide on the per-access path. *)
+
+val charge : t -> node:int -> float array -> unit
+(** [charge t ~node io] records one line transfer against [node].  On entry
+    [io.(0)] is the virtual time and [io.(1)] the base latency; on return
+    [io.(0)] holds the contention-adjusted latency (at least [io.(1)]).
+    Floats cross the module boundary through the caller-owned cell so the
+    per-access hot path never boxes. *)
 
 val access_ns : t -> node:int -> now_ns:float -> base_ns:float -> float
 (** [access_ns t ~node ~now_ns ~base_ns] records one line transfer against
     [node] at virtual time [now_ns] and returns the contention-adjusted
-    latency (at least [base_ns]). *)
+    latency (at least [base_ns]).  Convenience wrapper over {!charge}. *)
 
 val load_ratio : t -> node:int -> now_ns:float -> float
 (** Demand / effective capacity of the bin containing [now_ns]

@@ -23,6 +23,11 @@ val set_core_online : t -> int -> bool -> unit
 val link_mult : t -> int -> float
 (** Per-chiplet I/O-die link latency multiplier (>= 1.0). *)
 
+val unsafe_link_mult : t -> int -> float
+(** {!link_mult} without the range check: a single array read that inlines
+    across the module boundary, keeping the per-access hot path free of
+    boxed float returns.  The caller must guarantee the chiplet index. *)
+
 val set_link_mult : t -> int -> float -> unit
 
 val xsocket_mult : t -> float

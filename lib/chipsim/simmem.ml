@@ -12,11 +12,19 @@ type t = {
   mutable next_base : int;
   mutable regions : region array;  (* sorted by base *)
   mutable nregions : int;
-  pagemap : (int, int) Hashtbl.t;  (* page -> node *)
+  (* page placements: pages are small dense integers (addr / 4096), so
+     they live in a flat array holding node + 1 (0 = unmapped), growing on
+     demand — one direct read on the DRAM-fill hot path.  Pages past
+     [dense_pages] (sparse gigantic address spaces) spill into an Intmap. *)
+  mutable pagemap_dense : int array;
+  pagemap_sparse : Intmap.t;
   node_pages : int array;
 }
 
 let page_bytes = 4096
+
+(* 1M pages = 4 GB of simulated memory covered by the flat array *)
+let dense_pages = 1 lsl 20
 
 let create topo =
   {
@@ -24,9 +32,31 @@ let create topo =
     next_base = page_bytes;  (* keep 0 unmapped to catch stray addresses *)
     regions = Array.make 16 { base = 0; length_bytes = 0; elt_bytes = 1; region_policy = First_touch };
     nregions = 0;
-    pagemap = Hashtbl.create 4096;
+    pagemap_dense = Array.make 4096 0;
+    pagemap_sparse = Intmap.create ~capacity:16 ();
     node_pages = Array.make topo.Topology.sockets 0;
   }
+
+(* page -> node, -1 if unmapped *)
+let page_node t page =
+  if page >= 0 && page < Array.length t.pagemap_dense then
+    Array.unsafe_get t.pagemap_dense page - 1
+  else if page < dense_pages then -1  (* negative pages never stored *)
+  else Intmap.get t.pagemap_sparse page ~absent:(-1)
+
+let set_page_node t page node =
+  if page >= 0 && page < Array.length t.pagemap_dense then
+    Array.unsafe_set t.pagemap_dense page (node + 1)
+  else if page >= 0 && page < dense_pages then begin
+    let cur = Array.length t.pagemap_dense in
+    let rec cap c = if c > page then c else cap (c * 2) in
+    let bigger = Array.make (min dense_pages (cap cur)) 0 in
+    Array.blit t.pagemap_dense 0 bigger 0 cur;
+    t.pagemap_dense <- bigger;
+    t.pagemap_dense.(page) <- node + 1
+  end
+  else if node < 0 then Intmap.remove t.pagemap_sparse page
+  else Intmap.set t.pagemap_sparse page node
 
 let alloc t ?(policy = First_touch) ~elt_bytes ~count () =
   if elt_bytes <= 0 || count < 0 then invalid_arg "Simmem.alloc: bad geometry";
@@ -67,22 +97,23 @@ let find_region t a =
 
 let node_of_addr t ~toucher_node a =
   let page = a / page_bytes in
-  match Hashtbl.find_opt t.pagemap page with
-  | Some node -> node
-  | None ->
-      let node =
-        match find_region t a with
-        | None -> toucher_node  (* unmapped: behave like first touch *)
-        | Some r -> (
-            match r.region_policy with
-            | First_touch -> toucher_node
-            | Bind n -> n
-            | Interleave ->
-                (page - (r.base / page_bytes)) mod t.topo.Topology.sockets)
-      in
-      Hashtbl.replace t.pagemap page node;
-      t.node_pages.(node) <- t.node_pages.(node) + 1;
-      node
+  let node = page_node t page in
+  if node >= 0 then node
+  else begin
+    let node =
+      match find_region t a with
+      | None -> toucher_node  (* unmapped: behave like first touch *)
+      | Some r -> (
+          match r.region_policy with
+          | First_touch -> toucher_node
+          | Bind n -> n
+          | Interleave ->
+              (page - (r.base / page_bytes)) mod t.topo.Topology.sockets)
+    in
+    set_page_node t page node;
+    t.node_pages.(node) <- t.node_pages.(node) + 1;
+    node
+  end
 
 let rebind t region policy =
   (match policy with
@@ -93,11 +124,11 @@ let rebind t region policy =
   let first = region.base / page_bytes in
   let last = (region.base + region.length_bytes - 1) / page_bytes in
   for page = first to last do
-    match Hashtbl.find_opt t.pagemap page with
-    | None -> ()
-    | Some node ->
-        t.node_pages.(node) <- t.node_pages.(node) - 1;
-        Hashtbl.remove t.pagemap page
+    let node = page_node t page in
+    if node >= 0 then begin
+      t.node_pages.(node) <- t.node_pages.(node) - 1;
+      set_page_node t page (-1)
+    end
   done
 
 let placed_pages t ~node =
@@ -110,5 +141,6 @@ let line_of_addr t a = a / t.topo.Topology.line_bytes
 let reset t =
   t.next_base <- page_bytes;
   t.nregions <- 0;
-  Hashtbl.reset t.pagemap;
+  Array.fill t.pagemap_dense 0 (Array.length t.pagemap_dense) 0;
+  Intmap.clear t.pagemap_sparse;
   Array.fill t.node_pages 0 (Array.length t.node_pages) 0

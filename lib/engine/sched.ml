@@ -49,13 +49,23 @@ type t = {
       (* fault pump: called with the event-loop frontier before each pick *)
   workers : worker array;
   core_owner : int array;  (* core -> worker id, -1 if free *)
+  rank : int array;  (* cores x cores distance ranks (Latency.rank_matrix) *)
+  ncores : int;
+  mutable placement_epoch : int;
+      (* bumped whenever any worker changes core; cached steal orders
+         carry the epoch they were built under and lazily refresh *)
+  mutable parked_count : int;  (* workers with parked && not offlined *)
   heap : heap;
   mutable live : int;
   mutable spawned : int;
   mutable runnable : int;
   mutable rr : int;  (* round-robin spawn cursor *)
   mutable next_tid : int;  (* per-instance so trace task ids are reproducible *)
-  mutable samples : (float * int) array;
+  (* concurrency samples in two parallel arrays: an unboxed float array
+     for the stamps and an int array for the counts, so sampling never
+     allocates a tuple on the task-finish path *)
+  mutable sample_ts : float array;
+  mutable sample_live : int array;
   mutable nsamples : int;
   rng : Rng.t;
 }
@@ -63,13 +73,31 @@ type t = {
 and worker = {
   wid : int;
   mutable core : int;
-  mutable clock : float;
+  clock : float array;
+      (* 1-element clock cell: {!Machine.access_clk} charges latency into
+         it in place, so no boxed float crosses the per-access boundary *)
   mutable busy_clock : float;  (* clock at the end of the last real quantum *)
   mutable did_work : bool;
   mutable parked : bool;  (* out of the heap, waiting for an enqueue *)
   mutable offlined : bool;  (* core lost with nowhere to migrate: dormant *)
   mutable redirect : int;  (* where an offlined worker's enqueues go; -1 none *)
-  queue : task Wsqueue.t;
+  (* Two-lane run queue.  [ready] is the run deque holding every queued
+     task in service order; not-yet-due tasks (timers, pending arrivals,
+     children spawned ahead of time) additionally mirror their ready_at
+     into [pend_keys], a binary min-heap of bare floats.  The heap is
+     advisory: keys are never deleted when their task leaves the deque (a
+     steal, an offline drain), so the root may be stale — but every
+     queued future task has a live key, stale keys only ever sit at or
+     below the true minimum, and a failed deque sweep proves keys <= the
+     clock stale, so draining them converges on the exact clock advance
+     the old full-deque rescan computed.  This keeps pop_own's run-dry
+     path at O(log n) per advance instead of the old O(n) rescan per
+     pick, without perturbing service order by a single task. *)
+  ready : dq;
+  mutable pend_keys : float array;
+  mutable pend_size : int;
+  mutable victims : int array;  (* cached default steal order *)
+  mutable victims_epoch : int;  (* placement_epoch it was built under *)
   wrng : Rng.t;
   mutable accesses : int;  (* this quantum *)
 }
@@ -88,6 +116,14 @@ and ctx = { csched : t; ctask : task }
 and hooks = {
   on_quantum_end : t -> int -> unit;
   steal_order : t -> thief:int -> int array;
+}
+
+(* specialised task ring deque: empty slots hold a dummy task, so pushes
+   and pops move bare pointers with no option boxing *)
+and dq = {
+  mutable dbuf : task array;
+  mutable dtop : int;  (* index of oldest element *)
+  mutable dbot : int;  (* one past newest element *)
 }
 
 (* -- min-heap of (clock, worker id) with lazy deletion ------------------- *)
@@ -153,28 +189,132 @@ let heap_pop h =
     Some (key, v)
   end
 
+(* -- task deque and pending heap ----------------------------------------- *)
+
+(* the sentinel filling empty queue slots; compared with == only *)
+let dummy_task =
+  { tid = -1; coro = None; ready_at = 0.0; last_worker = -1; finished = true; waiters = [] }
+
+let dq_create () = { dbuf = Array.make 16 dummy_task; dtop = 0; dbot = 0 }
+let dq_length q = q.dbot - q.dtop
+let dq_is_empty q = q.dbot = q.dtop
+let dq_slot q i = i land (Array.length q.dbuf - 1)
+
+let dq_grow q =
+  let old = q.dbuf in
+  let cap = Array.length old in
+  let buf = Array.make (cap * 2) dummy_task in
+  for i = q.dtop to q.dbot - 1 do
+    buf.(i land ((cap * 2) - 1)) <- old.(i land (cap - 1))
+  done;
+  q.dbuf <- buf
+
+let dq_push q x =
+  if dq_length q = Array.length q.dbuf then dq_grow q;
+  q.dbuf.(dq_slot q q.dbot) <- x;
+  q.dbot <- q.dbot + 1
+
+let dq_pop_front q =
+  if dq_is_empty q then dummy_task
+  else begin
+    let i = dq_slot q q.dtop in
+    let x = q.dbuf.(i) in
+    q.dbuf.(i) <- dummy_task;
+    q.dtop <- q.dtop + 1;
+    x
+  end
+
+let dq_get q i = q.dbuf.(dq_slot q (q.dtop + i))
+
+(* remove the [i]-th element from the front, preserving the relative order
+   of everything else: the [i] elements ahead of it shift back one slot *)
+let dq_remove q i =
+  let j = ref i in
+  while !j > 0 do
+    q.dbuf.(dq_slot q (q.dtop + !j)) <- q.dbuf.(dq_slot q (q.dtop + !j - 1));
+    decr j
+  done;
+  q.dbuf.(dq_slot q q.dtop) <- dummy_task;
+  q.dtop <- q.dtop + 1
+
+(* the pending heap holds bare ready_at keys, nothing else: values are
+   never needed (the deque owns the tasks) and bare floats keep the heap
+   unboxed end to end *)
+let pend_push w key =
+  let n = w.pend_size in
+  if n = Array.length w.pend_keys then begin
+    let keys = Array.make (max 8 (2 * n)) 0.0 in
+    Array.blit w.pend_keys 0 keys 0 n;
+    w.pend_keys <- keys
+  end;
+  w.pend_size <- n + 1;
+  let keys = w.pend_keys in
+  let i = ref n in
+  keys.(!i) <- key;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if keys.(!i) < keys.(p) then begin
+      let tk = keys.(p) in
+      keys.(p) <- keys.(!i);
+      keys.(!i) <- tk;
+      i := p
+    end
+    else continue_ := false
+  done
+
+(* caller must ensure [w.pend_size > 0] *)
+let pend_drop_root w =
+  let keys = w.pend_keys in
+  let n = w.pend_size - 1 in
+  w.pend_size <- n;
+  keys.(0) <- keys.(n);
+  let i = ref 0 and continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < n && keys.(l) < keys.(!s) then s := l;
+    if r < n && keys.(r) < keys.(!s) then s := r;
+    if !s <> !i then begin
+      let tk = keys.(!s) in
+      keys.(!s) <- keys.(!i);
+      keys.(!i) <- tk;
+      i := !s
+    end
+    else continue_ := false
+  done
+
+let run_queue_len w = dq_length w.ready
+
 (* ------------------------------------------------------------------------ *)
 
-let distance_rank topo a b =
-  match Latency.classify topo a b with
-  | Latency.Same_core -> 0
-  | Latency.Same_chiplet -> 1
-  | Latency.Same_group -> 2
-  | Latency.Same_socket -> 3
-  | Latency.Cross_socket -> 4
-
+(* Cached per-worker victim order, sorted by (distance rank, wid) from the
+   precomputed rank matrix.  Rebuilt lazily after any placement change
+   (placement_epoch bump) instead of list-building, classifying and
+   tuple-sorting on every failed pop. *)
 let default_steal_order t ~thief =
-  let my_core = t.workers.(thief).core in
-  let topo = Machine.topology t.machine in
-  let others =
-    Array.of_list
-      (List.filter_map
-         (fun w -> if w.wid = thief then None else Some w.wid)
-         (Array.to_list t.workers))
-  in
-  let rank wid = distance_rank topo my_core t.workers.(wid).core in
-  Array.sort (fun a b -> compare (rank a, a) (rank b, b)) others;
-  others
+  let w = t.workers.(thief) in
+  if w.victims_epoch <> t.placement_epoch then begin
+    let n = Array.length t.workers in
+    if Array.length w.victims <> n - 1 then w.victims <- Array.make (n - 1) 0;
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> thief then begin
+        w.victims.(!j) <- v;
+        incr j
+      end
+    done;
+    let base = w.core * t.ncores in
+    let rank = t.rank and workers = t.workers in
+    Array.sort
+      (fun a b ->
+        let ra = rank.(base + workers.(a).core)
+        and rb = rank.(base + workers.(b).core) in
+        if ra <> rb then compare ra rb else compare a b)
+      w.victims;
+    w.victims_epoch <- t.placement_epoch
+  end;
+  w.victims
 
 let no_hooks =
   { on_quantum_end = (fun _ _ -> ()); steal_order = (fun t ~thief -> default_steal_order t ~thief) }
@@ -197,19 +337,23 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
         {
           wid;
           core;
-          clock = 0.0;
+          clock = Array.make 1 0.0;
           busy_clock = 0.0;
           did_work = false;
           parked = false;
           offlined = false;
           redirect = -1;
-          queue = Wsqueue.create ();
+          ready = dq_create ();
+          pend_keys = Array.make 8 0.0;
+          pend_size = 0;
+          victims = [||];
+          victims_epoch = -1;
           wrng = Rng.split rng;
           accesses = 0;
         })
   in
   let heap = heap_create n_workers in
-  Array.iter (fun w -> heap_push heap w.clock w.wid) workers;
+  Array.iter (fun w -> heap_push heap w.clock.(0) w.wid) workers;
   {
     machine;
     config;
@@ -222,13 +366,18 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     on_advance = None;
     workers;
     core_owner;
+    rank = Latency.rank_matrix topo;
+    ncores = cores;
+    placement_epoch = 0;
+    parked_count = 0;
     heap;
     live = 0;
     spawned = 0;
     runnable = 0;
     rr = 0;
     next_tid = 0;
-    samples = Array.make 256 (0.0, 0);
+    sample_ts = Array.make 256 0.0;
+    sample_live = Array.make 256 0;
     nsamples = 0;
     rng;
   }
@@ -244,7 +393,7 @@ let set_check t on = t.check <- on
 let check_enabled t = t.check
 let set_on_advance t f = t.on_advance <- f
 let worker_core t w = t.workers.(w).core
-let worker_clock t w = t.workers.(w).clock
+let worker_clock t w = t.workers.(w).clock.(0)
 let worker_offlined t w = t.workers.(w).offlined
 
 let active_workers t =
@@ -255,20 +404,42 @@ let worker_of_core t core =
   else if t.core_owner.(core) = -1 then None
   else Some t.core_owner.(core)
 
-let queue_length t w = Wsqueue.length t.workers.(w).queue
+let queue_length t w = run_queue_len t.workers.(w)
+
+let pending_length t w =
+  let w = t.workers.(w) in
+  let q = w.ready and clock = w.clock.(0) in
+  let n = ref 0 in
+  for i = 0 to dq_length q - 1 do
+    if (dq_get q i).ready_at > clock then incr n
+  done;
+  !n
+
+let ready_queue_ids t w =
+  let q = t.workers.(w).ready in
+  List.init (dq_length q) (fun i -> (dq_get q i).tid)
+
+let heap_snapshot t =
+  Array.init t.heap.size (fun i -> (t.heap.keys.(i), t.heap.vals.(i)))
+
 let live_tasks t = t.live
 let total_spawned t = t.spawned
 
 let sample t now =
-  if t.nsamples = Array.length t.samples then begin
-    let bigger = Array.make (2 * t.nsamples) (0.0, 0) in
-    Array.blit t.samples 0 bigger 0 t.nsamples;
-    t.samples <- bigger
+  let n = t.nsamples in
+  if n = Array.length t.sample_ts then begin
+    let ts = Array.make (2 * n) 0.0 and live = Array.make (2 * n) 0 in
+    Array.blit t.sample_ts 0 ts 0 n;
+    Array.blit t.sample_live 0 live 0 n;
+    t.sample_ts <- ts;
+    t.sample_live <- live
   end;
-  t.samples.(t.nsamples) <- (now, t.live);
-  t.nsamples <- t.nsamples + 1
+  t.sample_ts.(n) <- now;
+  t.sample_live.(n) <- t.live;
+  t.nsamples <- n + 1
 
-let concurrency_samples t = Array.sub t.samples 0 t.nsamples
+let concurrency_samples t =
+  Array.init t.nsamples (fun i -> (t.sample_ts.(i), t.sample_live.(i)))
 
 let migrate t ~worker ~core =
   let w = t.workers.(worker) in
@@ -288,11 +459,12 @@ let migrate t ~worker ~core =
     t.core_owner.(w.core) <- -1;
     t.core_owner.(core) <- worker;
     w.core <- core;
-    w.clock <- w.clock +. t.config.migration_cost_ns;
+    t.placement_epoch <- t.placement_epoch + 1;
+    w.clock.(0) <- w.clock.(0) +. t.config.migration_cost_ns;
     Pmu.incr (Machine.pmu t.machine) ~core Pmu.Migration;
     match t.trace with
     | Some tr when Trace.enabled tr ->
-        Trace.migration tr ~worker ~from_core ~to_core:core ~at_ns:w.clock
+        Trace.migration tr ~worker ~from_core ~to_core:core ~at_ns:w.clock.(0)
     | _ -> ()
   end
 
@@ -311,25 +483,28 @@ let make_task t body ~worker ~at =
 let unpark t w ~at =
   if w.parked && not w.offlined then begin
     w.parked <- false;
-    if at > w.clock then w.clock <- at;
-    heap_push t.heap w.clock w.wid
+    t.parked_count <- t.parked_count - 1;
+    if at > w.clock.(0) then w.clock.(0) <- at;
+    heap_push t.heap w.clock.(0) w.wid
   end
 
-(* Wake the parked worker closest to [near] so it can steal. *)
+(* Wake the parked worker closest to [near] so it can steal.  [near]'s
+   cached victim order is exactly the ascending-distance scan (lowest wid
+   first within a class), so the first parked entry is the old
+   full-scan minimum — without classifying every worker pair, and with a
+   counter fast-path when nobody is parked at all. *)
 let wake_one_thief t ~near ~at =
-  let topo = Machine.topology t.machine in
-  let best = ref None and best_rank = ref max_int in
-  Array.iter
-    (fun w ->
-      if w.parked && not w.offlined then begin
-        let r = distance_rank topo near.core w.core in
-        if r < !best_rank then begin
-          best_rank := r;
-          best := Some w
-        end
-      end)
-    t.workers;
-  match !best with Some w -> unpark t w ~at | None -> ()
+  if t.parked_count > 0 then begin
+    let order = default_steal_order t ~thief:near.wid in
+    let n = Array.length order in
+    let rec go i =
+      if i < n then begin
+        let w = t.workers.(order.(i)) in
+        if w.parked && not w.offlined then unpark t w ~at else go (i + 1)
+      end
+    in
+    go 0
+  end
 
 (* Resolve an offlined worker to the live worker its queue was drained
    into; the chain is bounded by the worker count (redirects only ever
@@ -346,11 +521,12 @@ let enqueue t task =
   let target = live_target t task.last_worker in
   task.last_worker <- target;
   let w = t.workers.(target) in
-  Wsqueue.push w.queue task;
+  dq_push w.ready task;
+  if task.ready_at > w.clock.(0) then pend_push w task.ready_at;
   t.runnable <- t.runnable + 1;
   unpark t w ~at:task.ready_at;
-  if t.config.steal_enabled && Wsqueue.length w.queue >= 2 then
-    wake_one_thief t ~near:w ~at:(Float.max w.clock task.ready_at)
+  if t.config.steal_enabled && run_queue_len w >= 2 then
+    wake_one_thief t ~near:w ~at:(Float.max w.clock.(0) task.ready_at)
 
 let spawn t ?worker ?(at = 0.0) body =
   let worker =
@@ -382,96 +558,134 @@ let ready t ?at task =
   (match at with Some at -> task.ready_at <- Float.max task.ready_at at | None -> ());
   enqueue t task
 
-(* Pop a ready task from the worker's own queue, rotating not-yet-ready
-   tasks to the back; if only future tasks exist, advance the clock. *)
-let rec pop_own t w =
-  let len = Wsqueue.length w.queue in
-  if len = 0 then None
+(* Pop the next runnable task: the first task in queue order whose
+   ready_at is within the worker's clock, rotating the not-yet-due prefix
+   to the back — the same discipline as the original single-deque
+   scheduler, because downstream service order depends on it.  When every
+   queued task is in the future, the clock advances to the earliest
+   ready_at; the advisory heap supplies that minimum in O(log n) where
+   the old code re-scanned the whole deque per pick.  Returns
+   [dummy_task] when the queue is empty. *)
+let rec pop_own_slow w =
+  let len = dq_length w.ready in
+  if len = 0 then dummy_task
   else begin
-    let min_ready = ref infinity in
+    let clock = w.clock.(0) in
     let rec go i =
-      if i >= len then None
-      else
-        match Wsqueue.pop_front w.queue with
-        | None -> None
-        | Some task ->
-            if task.ready_at <= w.clock then Some task
-            else begin
-              if task.ready_at < !min_ready then min_ready := task.ready_at;
-              Wsqueue.push w.queue task;
-              go (i + 1)
-            end
+      if i >= len then dummy_task
+      else begin
+        let task = dq_pop_front w.ready in
+        if task.ready_at <= clock then task
+        else begin
+          dq_push w.ready task;
+          go (i + 1)
+        end
+      end
     in
-    match go 0 with
-    | Some task -> Some task
-    | None ->
-        w.clock <- !min_ready;
-        pop_own t w
+    let found = go 0 in
+    if found != dummy_task then found
+    else begin
+      (* Nothing due: every queued task mirrors a live heap key above the
+         clock, and any key at or below it is provably stale (its task
+         would have been found by the sweep) — drop those, advance to the
+         root and retry.  A stale root between the clock and the true
+         minimum only costs one extra sweep before it is dropped in
+         turn. *)
+      while w.pend_size > 0 && w.pend_keys.(0) <= w.clock.(0) do
+        pend_drop_root w
+      done;
+      assert (w.pend_size > 0);
+      w.clock.(0) <- w.pend_keys.(0);
+      pop_own_slow w
+    end
+  end
+
+(* fast path: the front task is due (the steady state when the queue
+   holds running work rather than timers) — no sweep state to set up *)
+let pop_own w =
+  let q = w.ready in
+  if dq_is_empty q then dummy_task
+  else begin
+    let front = dq_get q 0 in
+    if front.ready_at <= w.clock.(0) then begin
+      q.dbuf.(dq_slot q q.dtop) <- dummy_task;
+      q.dtop <- q.dtop + 1;
+      front
+    end
+    else pop_own_slow w
   end
 
 (* Steal from one victim, skipping tasks scheduled beyond the thief's
    steal horizon: running a far-future task (a timer, a pending arrival)
    would drag the thief's clock forward, and every ready task it later
-   touches would finish "in the future".  Refused tasks go back to the
-   owner, who advances to them naturally when it runs dry. *)
+   touches would finish "in the future".  The victim's deque is scanned
+   in place oldest-first and only the stolen task is removed, so refusals
+   leave the owner's run order untouched (re-pushing refused tasks to the
+   back would rotate it).  A stolen future task leaves its advisory heap
+   key behind; the owner's next run-dry sweep drops it as stale. *)
 let steal_ready t w victim =
-  let n = Wsqueue.length victim.queue in
-  let horizon = w.clock +. t.config.steal_horizon_ns in
-  let rec go k =
-    if k >= n then None
-    else
-      match Wsqueue.steal victim.queue with
-      | None -> None
-      | Some task ->
-          if task.ready_at > horizon then begin
-            Wsqueue.push victim.queue task;
-            go (k + 1)
-          end
-          else Some task
+  let horizon = w.clock.(0) +. t.config.steal_horizon_ns in
+  let n = dq_length victim.ready in
+  let rec scan i =
+    if i >= n then dummy_task
+    else begin
+      let task = dq_get victim.ready i in
+      if task.ready_at <= horizon then begin
+        dq_remove victim.ready i;
+        task
+      end
+      else scan (i + 1)
+    end
   in
-  go 0
+  scan 0
 
 let try_steal t w =
-  if not t.config.steal_enabled then None
+  if not t.config.steal_enabled then dummy_task
   else begin
     let order = t.hooks.steal_order t ~thief:w.wid in
     let topo = Machine.topology t.machine in
     let rec go i =
-      if i >= Array.length order then None
+      if i >= Array.length order then dummy_task
       else begin
         let victim = t.workers.(order.(i)) in
-        match steal_ready t w victim with
-        | Some task ->
-            let cost =
-              2.0 *. Latency.core_to_core_ns ~profile:(Machine.profile t.machine) topo w.core victim.core
-            in
-            w.clock <- w.clock +. cost;
-            Pmu.incr (Machine.pmu t.machine) ~core:w.core Pmu.Task_stolen;
-            (match t.trace with
-            | Some tr when Trace.enabled tr ->
-                Trace.steal tr ~thief:w.wid ~victim:victim.wid ~task_id:task.tid
-                  ~at_ns:w.clock
-            | _ -> ());
-            if not (Wsqueue.is_empty victim.queue) then
-              wake_one_thief t ~near:victim ~at:w.clock;
-            Some task
-        | None -> go (i + 1)
+        let task = steal_ready t w victim in
+        if task != dummy_task then begin
+          let cost =
+            2.0 *. Latency.core_to_core_ns ~profile:(Machine.profile t.machine) topo w.core victim.core
+          in
+          w.clock.(0) <- w.clock.(0) +. cost;
+          Pmu.incr (Machine.pmu t.machine) ~core:w.core Pmu.Task_stolen;
+          (match t.trace with
+          | Some tr when Trace.enabled tr ->
+              Trace.steal tr ~thief:w.wid ~victim:victim.wid ~task_id:task.tid
+                ~at_ns:w.clock.(0)
+          | _ -> ());
+          if run_queue_len victim > 0 then
+            wake_one_thief t ~near:victim ~at:w.clock.(0);
+          task
+        end
+        else go (i + 1)
       end
     in
     go 0
   end
 
+(* Single horizon-filtered steal attempt, exposed for tests: returns the
+   stolen task id, or -1 when every queued task was refused.  A stolen
+   task leaves the scheduler's accounting (the caller owns it). *)
+let steal_once t ~thief ~victim =
+  let task = steal_ready t t.workers.(thief) t.workers.(victim) in
+  if task == dummy_task then -1
+  else begin
+    t.runnable <- t.runnable - 1;
+    task.tid
+  end
+
 let next_task t w =
-  match pop_own t w with
-  | Some task ->
-      t.runnable <- t.runnable - 1;
-      Some task
-  | None -> (
-      match try_steal t w with
-      | Some task ->
-          t.runnable <- t.runnable - 1;
-          Some task
-      | None -> None)
+  let task = pop_own w in
+  let task = if task == dummy_task then try_steal t w else task in
+  if task != dummy_task then t.runnable <- t.runnable - 1;
+  task
 
 (* -- executable invariants (config.check / set_check) --------------------
 
@@ -480,15 +694,24 @@ let next_task t w =
    preserve: causality (no task before its ready time), per-core quantum
    ordering, offline cores staying idle, and work conservation. *)
 
-(* Every task accounted runnable sits in exactly one deque.  O(workers),
+(* Every task accounted runnable sits in exactly one lane of exactly one
+   worker, and the parked-worker counter matches the flags.  O(workers),
    so it runs on the periodic tick, not every quantum. *)
 let check_work_conservation t =
   let queued =
-    Array.fold_left (fun acc w -> acc + Wsqueue.length w.queue) 0 t.workers
+    Array.fold_left (fun acc w -> acc + run_queue_len w) 0 t.workers
   in
   if queued <> t.runnable then
     Invariant.fail "sched: %d tasks queued but %d accounted runnable" queued
-      t.runnable
+      t.runnable;
+  let parked =
+    Array.fold_left
+      (fun acc w -> if w.parked && not w.offlined then acc + 1 else acc)
+      0 t.workers
+  in
+  if parked <> t.parked_count then
+    Invariant.fail "sched: %d workers parked but %d counted" parked
+      t.parked_count
 
 let machine_check_period = 64
 
@@ -498,16 +721,16 @@ let check_quantum_start t w task =
   if not (Modifiers.core_online (Machine.modifiers t.machine) w.core) then
     Invariant.fail "sched: worker %d executing task %d on offline core %d"
       w.wid task.tid w.core;
-  if w.clock < task.ready_at then
+  if w.clock.(0) < task.ready_at then
     Invariant.fail
       "sched: task %d starts at %.3f ns, before its ready time %.3f ns (worker %d)"
-      task.tid w.clock task.ready_at w.wid
+      task.tid w.clock.(0) task.ready_at w.wid
 
 let check_quantum_end t w task ~quantum_start =
-  if not (Float.is_finite w.clock) || w.clock < quantum_start then
+  if not (Float.is_finite w.clock.(0)) || w.clock.(0) < quantum_start then
     Invariant.fail
       "sched: worker %d clock went from %.3f to %.3f ns across task %d's quantum"
-      w.wid quantum_start w.clock task.tid;
+      w.wid quantum_start w.clock.(0) task.tid;
   (* Per-core non-overlap: consecutive quanta on one core must not overlap
      in virtual time while the core keeps the same occupant.  After a
      hand-over (migration / hotplug) the new worker's clock is independent
@@ -518,9 +741,9 @@ let check_quantum_end t w task ~quantum_start =
   then
     Invariant.fail
       "sched: core %d quantum [%.3f, %.3f] overlaps the previous one ending at %.3f"
-      w.core quantum_start w.clock t.core_last_end.(w.core);
+      w.core quantum_start w.clock.(0) t.core_last_end.(w.core);
   t.core_last_worker.(w.core) <- w.wid;
-  t.core_last_end.(w.core) <- w.clock;
+  t.core_last_end.(w.core) <- w.clock.(0);
   t.check_tick <- t.check_tick + 1;
   if t.check_tick >= machine_check_period then begin
     t.check_tick <- 0;
@@ -532,29 +755,29 @@ let check_quiescent t =
   check_work_conservation t;
   Array.iter
     (fun w ->
-      if t.live = 0 && not (Wsqueue.is_empty w.queue) then
+      if t.live = 0 && run_queue_len w > 0 then
         Invariant.fail
           "sched: no live tasks but worker %d still queues %d of them" w.wid
-          (Wsqueue.length w.queue))
+          (run_queue_len w))
     t.workers;
   Machine.check_invariants_full t.machine
 
 let execute t w task =
-  if task.ready_at > w.clock && not (Lazy.force planted_skip_ready_clamp) then
-    w.clock <- task.ready_at;
+  if task.ready_at > w.clock.(0) && not (Lazy.force planted_skip_ready_clamp) then
+    w.clock.(0) <- task.ready_at;
   if t.check then check_quantum_start t w task;
   (* the quantum starts here, after the ready-time clamp: idle waiting and
      steal latency before this point belong to no task *)
-  let quantum_start = w.clock in
+  let quantum_start = w.clock.(0) in
   w.accesses <- 0;
   let pmu = Machine.pmu t.machine in
   (match t.config.task_model with
-  | Coroutines { switch_ns } -> w.clock <- w.clock +. switch_ns
+  | Coroutines { switch_ns } -> w.clock.(0) <- w.clock.(0) +. switch_ns
   | Os_threads { switch_ns; _ } ->
       (* oversubscription: kernel switching degrades with the ratio of
          runnable threads to cores *)
       let over = float_of_int t.live /. float_of_int (Array.length t.workers) in
-      w.clock <- w.clock +. (switch_ns *. Float.max 1.0 over));
+      w.clock.(0) <- w.clock.(0) +. (switch_ns *. Float.max 1.0 over));
   Pmu.incr pmu ~core:w.core Pmu.Context_switch;
   task.last_worker <- w.wid;
   let coro = Option.get task.coro in
@@ -565,31 +788,31 @@ let execute t w task =
      the task's forward progress per nanosecond drops with core speed. *)
   let speed = Modifiers.core_speed (Machine.modifiers t.machine) w.core in
   if speed <> 1.0 then
-    w.clock <- quantum_start +. ((w.clock -. quantum_start) /. speed);
+    w.clock.(0) <- quantum_start +. ((w.clock.(0) -. quantum_start) /. speed);
   (match result with
   | Coroutine.Yielded ->
       (* remember the progress point: if a lagging thief later steals this
          task it must resume at or after where it left off, or task-local
          time would run backward *)
-      task.ready_at <- w.clock;
+      task.ready_at <- w.clock.(0);
       enqueue t task
-  | Coroutine.Suspended -> task.ready_at <- w.clock
+  | Coroutine.Suspended -> task.ready_at <- w.clock.(0)
   | Coroutine.Finished ->
       task.finished <- true;
       t.live <- t.live - 1;
       Pmu.incr pmu ~core:w.core Pmu.Task_executed;
-      sample t w.clock;
+      sample t w.clock.(0);
       let waiters = task.waiters in
       task.waiters <- [];
-      List.iter (fun waiter -> ready t ~at:w.clock waiter) waiters);
+      List.iter (fun waiter -> ready t ~at:w.clock.(0) waiter) waiters);
   w.did_work <- true;
-  w.busy_clock <- w.clock;
+  w.busy_clock <- w.clock.(0);
   (* emit before the policy hook runs: a migration decided at quantum end
      must not retroactively relabel the core this quantum ran on *)
   (match t.trace with
   | Some tr when Trace.enabled tr ->
       Trace.task_quantum tr ~worker:w.wid ~core:w.core ~task_id:task.tid
-        ~start_ns:quantum_start ~end_ns:w.clock
+        ~start_ns:quantum_start ~end_ns:w.clock.(0)
   | _ -> ());
   if t.check then check_quantum_end t w task ~quantum_start;
   t.hooks.on_quantum_end t w.wid
@@ -603,13 +826,13 @@ let handle_core_offline t ~core =
   | None -> ()
   | Some wid ->
       let w = t.workers.(wid) in
-      let topo = Machine.topology t.machine in
       let mods = Machine.modifiers t.machine in
+      let base = core * t.ncores in
       let best = ref (-1) and best_rank = ref max_int in
       Array.iteri
         (fun c owner ->
           if owner = -1 && Modifiers.core_online mods c then begin
-            let r = distance_rank topo core c in
+            let r = t.rank.(base + c) in
             if r < !best_rank then begin
               best_rank := r;
               best := c
@@ -618,33 +841,35 @@ let handle_core_offline t ~core =
         t.core_owner;
       if !best >= 0 then migrate t ~worker:wid ~core:!best
       else if active_workers t > 1 then begin
+        if w.parked then t.parked_count <- t.parked_count - 1;
         w.offlined <- true;
         w.parked <- true;
-        let dest = ref None and dest_rank = ref max_int in
+        let dest = ref (-1) and dest_rank = ref max_int in
         Array.iter
           (fun w' ->
             if w'.wid <> wid && not w'.offlined then begin
-              let r = distance_rank topo core w'.core in
+              let r = t.rank.(base + w'.core) in
               if r < !dest_rank then begin
                 dest_rank := r;
-                dest := Some w'
+                dest := w'.wid
               end
             end)
           t.workers;
-        match !dest with
-        | None -> ()  (* unreachable: active_workers > 1 *)
-        | Some d ->
-            w.redirect <- d.wid;
-            let rec drain () =
-              match Wsqueue.pop_front w.queue with
-              | None -> ()
-              | Some task ->
-                  task.last_worker <- d.wid;
-                  Wsqueue.push d.queue task;
-                  drain ()
-            in
-            drain ();
-            unpark t d ~at:w.clock
+        if !dest >= 0 then begin
+          let d = t.workers.(!dest) in
+          w.redirect <- d.wid;
+          (* append the dead worker's queue to the survivor's in order,
+             mirroring future ready times into the survivor's heap; the
+             dead worker's own heap keys are orphaned wholesale *)
+          while not (dq_is_empty w.ready) do
+            let task = dq_pop_front w.ready in
+            task.last_worker <- d.wid;
+            dq_push d.ready task;
+            if task.ready_at > d.clock.(0) then pend_push d task.ready_at
+          done;
+          w.pend_size <- 0;
+          unpark t d ~at:w.clock.(0)
+        end
       end
 
 (* A previously offlined core came back.  Only workers that went dormant
@@ -658,8 +883,9 @@ let handle_core_online t ~core ~at =
       if w.offlined then begin
         w.offlined <- false;
         w.redirect <- -1;
-        if at > w.clock then w.clock <- at;
+        if at > w.clock.(0) then w.clock.(0) <- at;
         w.parked <- true;
+        t.parked_count <- t.parked_count + 1;
         unpark t w ~at
       end
 
@@ -683,24 +909,27 @@ let run t =
                deterministically here, at a quantum boundary *)
             (match t.on_advance with Some f -> f key | None -> ());
             if w.offlined then loop ()
-            else if key < w.clock then begin
+            else if key < w.clock.(0) then begin
               (* stale heap entry; reinsert with the fresh clock *)
-              heap_push t.heap w.clock wid;
+              heap_push t.heap w.clock.(0) wid;
               loop ()
             end
             else begin
-            (match next_task t w with
-            | Some task ->
+              let task = next_task t w in
+              if task != dummy_task then begin
                 execute t w task;
-                heap_push t.heap w.clock wid
-            | None ->
+                heap_push t.heap w.clock.(0) wid
+              end
+              else begin
                 (* Nothing to run or steal: park until an enqueue wakes us.
                    A short idle advance models the real polling interval. *)
                 (match t.trace with
-                | Some tr when Trace.enabled tr -> Trace.park tr ~worker:wid ~at_ns:w.clock
+                | Some tr when Trace.enabled tr -> Trace.park tr ~worker:wid ~at_ns:w.clock.(0)
                 | _ -> ());
-                w.clock <- w.clock +. t.config.idle_quantum_ns;
-                w.parked <- true);
+                w.clock.(0) <- w.clock.(0) +. t.config.idle_quantum_ns;
+                w.parked <- true;
+                t.parked_count <- t.parked_count + 1
+              end;
               loop ()
             end
           end
@@ -715,20 +944,20 @@ module Ctx = struct
   let machine c = c.csched.machine
 
   let worker c = c.csched.workers.(c.ctask.last_worker)
-  let now c = (worker c).clock
+  let now c = (worker c).clock.(0)
   let worker_id c = c.ctask.last_worker
   let core c = (worker c).core
   let rng c = (worker c).wrng
   let current_task c = c.ctask
+  let quantum_accesses c = (worker c).accesses
 
   let charge c ns =
     let w = worker c in
-    w.clock <- w.clock +. ns
+    w.clock.(0) <- w.clock.(0) +. ns
 
   let access_addr c ~write addr =
     let w = worker c in
-    let cost = Machine.access c.csched.machine ~core:w.core ~now_ns:w.clock ~write addr in
-    w.clock <- w.clock +. cost;
+    Machine.access_clk c.csched.machine ~core:w.core ~write addr w.clock 0;
     w.accesses <- w.accesses + 1
 
   let read c region i =
@@ -749,12 +978,16 @@ module Ctx = struct
     while !pos < hi do
       let stop = min hi (!pos + elems_per_chunk) in
       let w = worker c in
-      let cost =
-        Machine.touch_range c.csched.machine ~core:w.core ~now_ns:w.clock ~write
-          region ~lo:!pos ~hi:stop
+      Machine.touch_range_clk c.csched.machine ~core:w.core ~write region
+        ~lo:!pos ~hi:stop w.clock 0;
+      (* count exactly the lines touch_range visits (first..last line of
+         the chunk's byte span): the access budget and the machine's
+         access counter must agree *)
+      let lines =
+        (Simmem.addr region (stop - 1) / line_bytes)
+        - (Simmem.addr region !pos / line_bytes)
+        + 1
       in
-      w.clock <- w.clock +. cost;
-      let lines = 1 + (((stop - !pos) * region.Simmem.elt_bytes) / line_bytes) in
       w.accesses <- w.accesses + lines;
       pos := stop;
       if !pos < hi then Coroutine.yield ()
@@ -792,8 +1025,15 @@ module Ctx = struct
     end
 end
 
-let charge t ~worker ns = t.workers.(worker).clock <- t.workers.(worker).clock +. ns
+let charge t ~worker ns = t.workers.(worker).clock.(0) <- t.workers.(worker).clock.(0) +. ns
 
 let sync_clocks t =
-  let m = Array.fold_left (fun acc w -> Float.max acc w.clock) 0.0 t.workers in
-  Array.iter (fun w -> w.clock <- m) t.workers
+  let m = Array.fold_left (fun acc w -> Float.max acc w.clock.(0)) 0.0 t.workers in
+  Array.iter (fun w -> w.clock.(0) <- m) t.workers;
+  (* refresh the event heap: the old keys now all lag the clocks, so every
+     next pop would take the stale-entry reinsert path (and hand the fault
+     pump a frontier from before the sync) *)
+  t.heap.size <- 0;
+  Array.iter
+    (fun w -> if (not w.parked) && not w.offlined then heap_push t.heap w.clock.(0) w.wid)
+    t.workers

@@ -124,7 +124,28 @@ val set_on_advance : t -> (float -> unit) option -> unit
 val worker_core : t -> int -> int
 val worker_clock : t -> int -> float
 val worker_of_core : t -> int -> int option
+
 val queue_length : t -> int -> int
+(** Total tasks queued on the worker. *)
+
+val pending_length : t -> int -> int
+(** Queued tasks whose ready time is still beyond the worker's clock
+    (timers, pending arrivals). *)
+
+val ready_queue_ids : t -> int -> int list
+(** Task ids in the worker's run queue, oldest first.  Exposed so tests
+    can assert that refused steals leave the run order untouched. *)
+
+val heap_snapshot : t -> (float * int) array
+(** Raw [(clock key, worker id)] entries of the event-loop heap, in heap
+    order.  Exposed so tests can assert keys stay in step with worker
+    clocks (e.g. across {!sync_clocks}). *)
+
+val steal_once : t -> thief:int -> victim:int -> int
+(** Single horizon-filtered steal attempt from [victim]'s queue on behalf
+    of [thief]: the stolen task id, or [-1] if every queued task was
+    refused (beyond the thief's steal horizon).  A stolen task leaves the
+    scheduler's accounting — test hook only. *)
 
 val worker_offlined : t -> int -> bool
 (** Whether the worker is dormant because its core went offline with no
@@ -195,6 +216,10 @@ module Ctx : sig
   val maybe_yield : ctx -> unit
   (** Yield only if the access budget for this quantum is exhausted. *)
 
+  val quantum_accesses : ctx -> int
+  (** Accesses charged to the executing worker so far this quantum (the
+      counter {!maybe_yield} compares against the budget). *)
+
   val suspend : ctx -> (task -> unit) -> unit
   (** Park the current task, handing it to a registrar (wait list). *)
 
@@ -213,4 +238,6 @@ val charge : t -> worker:int -> float -> unit
 
 val sync_clocks : t -> unit
 (** Advance every worker's clock to the global maximum (a quiescent point
-    between measured phases, so the next makespan delta is meaningful). *)
+    between measured phases, so the next makespan delta is meaningful).
+    The event-loop heap is refreshed to the new clocks, so the next run
+    does not start with every entry stale. *)

@@ -1,5 +1,6 @@
 module Systems = Harness.Systems
 module Machine = Chipsim.Machine
+module Pmu = Chipsim.Pmu
 module Modifiers = Chipsim.Modifiers
 module Server = Serving.Server
 module Session = Serving.Server.Session
@@ -63,6 +64,7 @@ type shard_result = {
   shard : int;
   machine : string;
   placed : int;
+  sim_events : int;
   report : Server.report;
 }
 
@@ -496,10 +498,17 @@ let run cfg =
   Metrics.set_gauge registry "serve.makespan_ns" makespan;
   let shard_results =
     List.init n (fun s ->
+        let m = (Session.instance sessions.(s)).Systems.machine in
+        let pmu = Machine.pmu m in
         {
           shard = s;
           machine = machine_name (shard_machine s);
           placed = placed.(s);
+          sim_events =
+            Machine.accesses m
+            + Pmu.total pmu Pmu.Context_switch
+            + Pmu.total pmu Pmu.Task_stolen
+            + Pmu.total pmu Pmu.Migration;
           report = reports.(s);
         })
   in

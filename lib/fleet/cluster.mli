@@ -70,6 +70,10 @@ type shard_result = {
   shard : int;
   machine : string;
   placed : int;  (** router placements onto this shard (incl. relocations) *)
+  sim_events : int;
+      (** simulated engine events this shard retired: memory accesses plus
+          task quanta, steals and migrations — the numerator of the
+          [bench core] fleet events/sec figure *)
   report : Serving.Server.report;
 }
 

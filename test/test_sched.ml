@@ -114,6 +114,92 @@ let test_sync_clocks () =
     Alcotest.(check (float 0.001)) "aligned" 5_000.0 (Sched.worker_clock sched w)
   done
 
+(* Regression: Ctx.range used to count accesses per element instead of per
+   line touched, so the quantum budget and Machine.accesses disagreed for
+   any region whose elements are smaller than a cache line. *)
+let test_range_accounting_matches_machine () =
+  let m = machine () in
+  let region = Machine.alloc m ~elt_bytes:8 ~count:1000 () in
+  let sched = Sched.create m ~n_workers:1 ~placement:(fun w -> w) in
+  let quantum = ref 0 and delta = ref 0 in
+  ignore
+    (Sched.spawn sched (fun ctx ->
+         let before = Machine.accesses m in
+         Sched.Ctx.read_range ctx region ~lo:3 ~hi:997;
+         quantum := Sched.Ctx.quantum_accesses ctx;
+         delta := Machine.accesses m - before));
+  ignore (Sched.run sched : float);
+  (* independently count the distinct lines the range spans *)
+  let line_bytes = (Machine.topology m).Topology.line_bytes in
+  let lines = Hashtbl.create 64 in
+  for i = 3 to 996 do
+    Hashtbl.replace lines (Simmem.addr region i / line_bytes) ()
+  done;
+  Alcotest.(check int) "task charged per line" (Hashtbl.length lines) !quantum;
+  Alcotest.(check int) "machine counter agrees" !delta !quantum
+
+(* Regression: a steal sweep that refuses every queued task (all beyond the
+   thief's horizon) used to rotate the victim's run order as a side effect. *)
+let test_refused_steal_preserves_order () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:2 ~placement:(fun w -> w) in
+  Sched.charge sched ~worker:0 1_000_000.0;
+  let ids =
+    List.init 5 (fun _ ->
+        Sched.task_id
+          (Sched.spawn sched ~worker:0 ~at:1_000_000.0 (fun _ -> ())))
+  in
+  Alcotest.(check (list int)) "all queued ready" ids (Sched.ready_queue_ids sched 0);
+  (* the thief's clock is 0, so every task sits beyond its steal horizon *)
+  Alcotest.(check int) "sweep refuses all" (-1) (Sched.steal_once sched ~thief:1 ~victim:0);
+  Alcotest.(check (list int)) "victim order untouched" ids (Sched.ready_queue_ids sched 0);
+  (* advance the thief: the oldest task is now inside the horizon *)
+  Sched.charge sched ~worker:1 1_000_000.0;
+  Alcotest.(check int) "steals oldest first" (List.hd ids)
+    (Sched.steal_once sched ~thief:1 ~victim:0);
+  Alcotest.(check (list int)) "remainder keeps order" (List.tl ids)
+    (Sched.ready_queue_ids sched 0)
+
+(* Regression: sync_clocks aligned the worker clocks but left the event
+   heap holding the old keys, so the next pick could dequeue a worker far
+   out of clock order. *)
+let test_sync_clocks_refreshes_heap () =
+  let m = machine () in
+  let sched = Sched.create m ~n_workers:3 ~placement:(fun w -> w) in
+  Sched.charge sched ~worker:1 5_000.0;
+  Sched.sync_clocks sched;
+  let snap = Sched.heap_snapshot sched in
+  Alcotest.(check int) "one heap entry per worker" 3 (Array.length snap);
+  Array.iter
+    (fun (key, wid) ->
+      Alcotest.(check (float 0.001)) "heap key tracks synced clock"
+        (Sched.worker_clock sched wid) key;
+      Alcotest.(check (float 0.001)) "synced to the max clock" 5_000.0 key)
+    snap
+
+(* The per-access path (Ctx.read -> Machine.access_clk -> cache, directory,
+   page map, channel charge) must stay allocation-free: a boxed float pair
+   per access already costs 32 bytes.  The budget leaves slack for quantum
+   switches and amortised metadata growth. *)
+let test_access_path_allocation_budget () =
+  let m = machine () in
+  let region = Machine.alloc m ~elt_bytes:8 ~count:4096 () in
+  let sched = Sched.create m ~n_workers:1 ~placement:(fun w -> w) in
+  let n = 200_000 in
+  ignore
+    (Sched.spawn sched (fun ctx ->
+         for i = 0 to n - 1 do
+           Sched.Ctx.read ctx region (i land 4095);
+           Sched.Ctx.maybe_yield ctx
+         done));
+  let before = Gc.allocated_bytes () in
+  ignore (Sched.run sched : float);
+  let per_access = (Gc.allocated_bytes () -. before) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f bytes/access within budget" per_access)
+    true
+    (per_access < 16.0)
+
 let suite =
   [
     Alcotest.test_case "migrate" `Quick test_migrate;
@@ -126,4 +212,12 @@ let suite =
     Alcotest.test_case "worker-local spawn" `Quick test_worker_local_spawn;
     Alcotest.test_case "external charge" `Quick test_charge;
     Alcotest.test_case "quantum hook" `Quick test_quantum_hook_runs;
+    Alcotest.test_case "range accounting matches machine" `Quick
+      test_range_accounting_matches_machine;
+    Alcotest.test_case "refused steal preserves order" `Quick
+      test_refused_steal_preserves_order;
+    Alcotest.test_case "sync_clocks refreshes heap" `Quick
+      test_sync_clocks_refreshes_heap;
+    Alcotest.test_case "access path allocation budget" `Quick
+      test_access_path_allocation_budget;
   ]
