@@ -79,7 +79,7 @@ let run_batch () =
 (* -- serve: the charm_serve configuration at a fixed load on one machine *)
 
 let run_serve () =
-  let inst = Sys_.make ~cache_scale Sys_.Charm Sys_.Amd_milan ~n_workers:16 () in
+  let inst = Sys_.make ~cache_scale Sys_.Charm (Util.machine Sys_.Amd_milan) ~n_workers:16 () in
   let base = Server.default_config ~seed:42 in
   let cfg =
     {
@@ -118,7 +118,7 @@ let run_fleet () =
     {
       base with
       Cluster.n_shards = 2;
-      machines = [ Sys_.Amd_milan ];
+      machines = [ Util.machine Sys_.Amd_milan ];
       n_workers = 8;
       cache_scale;
       serve = { serve with Server.tenants; check = false };

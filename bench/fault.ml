@@ -28,7 +28,7 @@ let systems =
 type windows = { pre : Histogram.t; during : Histogram.t; post : Histogram.t }
 
 let run_one sys =
-  let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers () in
+  let inst = Sys_.make ~cache_scale sys (Util.machine Sys_.Amd_milan) ~n_workers () in
   let topo = Chipsim.Machine.topology inst.Sys_.machine in
   let schedule =
     Faults.Schedule.chiplet_meltdown ~topo ~chiplet:0 ~at_us:fault_us ()

@@ -38,7 +38,7 @@ let rates = [ 4_000.0; 8_000.0; 16_000.0 ]
    online capacity, so the bench uses a degradation heavy enough to
    cross the relocation threshold. *)
 let shard0_fault =
-  let topo = Sys_.topology Sys_.Amd_milan ~cache_scale in
+  let topo = Sys_.topology (Util.machine Sys_.Amd_milan) ~cache_scale in
   List.init (Chipsim.Topology.num_cores topo) (fun core ->
       {
         Schedule.at_ns = fault_at_us *. 1e3;
@@ -62,7 +62,7 @@ let config ~policy ~rate =
   {
     base with
     Cluster.n_shards;
-    machines = [ Sys_.Amd_milan ];
+    machines = [ Util.machine Sys_.Amd_milan ];
     n_workers;
     cache_scale;
     policy;

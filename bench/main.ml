@@ -48,9 +48,25 @@ let () =
     | a :: rest -> split_json (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
+  (* [--topology SPEC] re-runs the requested figures on a data-driven
+     topology (file path or inline spec) instead of their preset machine *)
+  let rec split_topology acc = function
+    | "--topology" :: spec :: rest -> (Some spec, List.rev_append acc rest)
+    | a :: rest -> split_topology (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
   let trace_file, args = split_trace [] args in
-  let json_file, names = split_json [] args in
+  let json_file, args = split_json [] args in
+  let topology_spec, names = split_topology [] args in
   Util.json_sink := json_file;
+  (match topology_spec with
+  | None -> ()
+  | Some spec -> (
+      match Harness.Systems.custom_machine_of_spec spec with
+      | Ok m -> Util.machine_override := Some m
+      | Error msg ->
+          Printf.eprintf "bench: bad --topology spec: %s\n" msg;
+          exit 2));
   (match trace_file with
   | Some _ -> Util.trace_sink := Some (Engine.Trace.create ())
   | None -> ());

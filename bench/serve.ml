@@ -49,7 +49,7 @@ let sum f r =
     0 r.Server.tenant_reports
 
 let run_one sys ~rate =
-  let inst = Sys_.make ~cache_scale sys Sys_.Amd_milan ~n_workers () in
+  let inst = Sys_.make ~cache_scale sys (Util.machine Sys_.Amd_milan) ~n_workers () in
   (* the driver's --trace sink, if set, rides in on the server config so
      job lifecycle and counter events are captured too *)
   Server.run inst { (config ~rate) with Server.trace = !Util.trace_sink }

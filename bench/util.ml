@@ -50,6 +50,12 @@ let json_write () =
       Printf.printf "\nwrote %d bench rows to %s\n"
         (List.length !json_rows) file
 
+(* Optional machine override: set by the driver's [--topology SPEC] flag.
+   Figures route their preset through {!machine} when building instances,
+   so one flag re-runs any figure on a data-driven topology. *)
+let machine_override : Sys_.machine_kind option ref = ref None
+let machine kind = match !machine_override with Some m -> m | None -> kind
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -101,7 +107,7 @@ let pick_source g =
    virtual time (edges/s for the graph algorithms, updates/s for GUPS). *)
 let run_graph_bench ?(cache_scale = default_cache_scale)
     ?(graph_scale = default_graph_scale) ~sys ~kind ~workers bench =
-  let inst = Sys_.make ~cache_scale sys kind ~n_workers:workers () in
+  let inst = Sys_.make ~cache_scale sys (machine kind) ~n_workers:workers () in
   attach_trace inst;
   let env = inst.Sys_.env in
   let result =

@@ -128,9 +128,28 @@ let load_fault_spec spec =
   end
   else spec
 
-let main sys machine workers cache_scale workload graph_scale query seed
-    trace_file fault_spec check =
-  let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+let main sys machine topology_spec workers cache_scale workload graph_scale
+    query seed trace_file fault_spec check =
+  (* --topology overrides -m with a data-driven machine *)
+  let machine =
+    match topology_spec with
+    | None -> machine
+    | Some spec -> (
+        match Sys_.custom_machine_of_spec spec with
+        | Ok m -> m
+        | Error msg ->
+            Printf.eprintf "charm_run: bad --topology spec: %s\n" msg;
+            exit 2)
+  in
+  let inst =
+    match Sys_.make ~cache_scale sys machine ~n_workers:workers () with
+    | inst -> inst
+    | exception Invalid_argument msg ->
+        (* rejected configuration (too many workers, inverted cache scale,
+           ...): a user error, not a crash *)
+        Printf.eprintf "charm_run: %s\n" msg;
+        exit 2
+  in
   if check then
     Engine.Sched.set_check inst.Sys_.env.Workloads.Exec_env.sched true;
   (match fault_spec with
@@ -185,6 +204,17 @@ let sys_arg =
 
 let machine_arg =
   Arg.(value & opt (enum machines) Sys_.Amd_milan & info [ "m"; "machine" ] ~doc:"Machine model.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Data-driven machine topology overriding $(b,-m): a path to a \
+           topology file (see examples/topologies/) or an inline \
+           ';'-separated spec. Supports heterogeneous chiplet kinds \
+           (big/little/accel) and per-chiplet link overrides.")
 
 let workers_arg =
   Arg.(value & opt int 64 & info [ "n"; "workers" ] ~doc:"Worker threads.")
@@ -251,8 +281,8 @@ let cmd =
   Cmd.v
     (Cmd.info "charm_run" ~doc)
     Term.(
-      const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
-      $ workload_arg $ graph_scale_arg $ query_arg $ seed_arg $ trace_arg
-      $ faults_arg $ check_arg)
+      const main $ sys_arg $ machine_arg $ topology_arg $ workers_arg
+      $ cache_scale_arg $ workload_arg $ graph_scale_arg $ query_arg
+      $ seed_arg $ trace_arg $ faults_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -31,27 +31,10 @@ let machines =
   [ ("amd", Sys_.Amd_milan); ("amd1s", Sys_.Amd_milan_1s); ("intel", Sys_.Intel_spr) ]
 
 (* tenant mixes are "name:weight:kind+kind+..." triples; the default three
-   tenants mirror the paper's workload families *)
-let parse_tenant spec =
-  match String.split_on_char ':' spec with
-  | name :: weight :: kinds ->
-      let weight = float_of_string_opt weight in
-      let kinds =
-        (* kind names may contain ':' (tpch:3), so rejoin before splitting
-           on the '+' separators *)
-        String.concat ":" kinds |> String.split_on_char '+'
-        |> List.map Serve.Job.kind_of_string
-      in
-      if
-        weight = None || Option.get weight <= 0.0 || kinds = []
-        || List.exists (fun k -> k = None) kinds
-      then Error (`Msg ("bad tenant spec: " ^ spec))
-      else
-        Ok
-          ( name,
-            Option.get weight,
-            List.filter_map (fun k -> k) kinds |> List.map (fun k -> (k, 1)) )
-  | _ -> Error (`Msg ("bad tenant spec: " ^ spec))
+   tenants mirror the paper's workload families.  Parsing lives in
+   Serving.Spec so malformed specs fail with errors naming the field. *)
+let msg_of_result = function Ok v -> Ok v | Error m -> Error (`Msg m)
+let parse_tenant spec = msg_of_result (Serve.Spec.parse_tenant spec)
 
 let default_mixes =
   [
@@ -73,21 +56,10 @@ let load_fault_spec spec =
 (* --shard-machines accepts a comma-separated preset list cycled over the
    shards, e.g. "amd,intel" *)
 let parse_shard_machines spec =
-  let names = String.split_on_char ',' spec in
-  let resolve n = List.assoc_opt (String.trim n) machines in
-  if names = [] || List.exists (fun n -> resolve n = None) names then
-    Error (`Msg ("bad --shard-machines list: " ^ spec))
-  else Ok (List.filter_map resolve names)
+  msg_of_result (Serve.Spec.parse_shard_machines ~machines spec)
 
 (* --faults-shard entries are SHARD:SPEC (spec inline or a file path) *)
-let parse_shard_fault spec =
-  match String.index_opt spec ':' with
-  | Some i when i > 0 -> (
-      match int_of_string_opt (String.sub spec 0 i) with
-      | Some shard when shard >= 0 ->
-          Ok (shard, String.sub spec (i + 1) (String.length spec - i - 1))
-      | _ -> Error (`Msg ("bad --faults-shard entry (want SHARD:SPEC): " ^ spec)))
-  | _ -> Error (`Msg ("bad --faults-shard entry (want SHARD:SPEC): " ^ spec))
+let parse_shard_fault spec = msg_of_result (Serve.Spec.parse_shard_fault spec)
 
 let run_fleet ~n_shards ~sys ~machine ~shard_machines ~workers ~cache_scale
     ~policy ~epoch_us ~diurnal ~diurnal_period_us ~no_relocation ~plant
@@ -158,10 +130,22 @@ let run_fleet ~n_shards ~sys ~machine ~shard_machines ~workers ~cache_scale
       Printf.eprintf "charm_serve: INVARIANT VIOLATION: %s\n" msg;
       exit 3
 
-let main sys machine workers cache_scale rate jobs seed max_inflight queue_bound
-    slo_factor closed_loop think_us tenant_specs graph_scale trace_file
-    fault_spec check fleet router epoch_us shard_machines shard_faults diurnal
-    diurnal_period_us no_relocation plant =
+let main sys machine topology_spec workers cache_scale rate jobs seed
+    max_inflight queue_bound slo_factor closed_loop think_us tenant_specs
+    graph_scale trace_file fault_spec check fleet router epoch_us
+    shard_machines shard_faults diurnal diurnal_period_us no_relocation plant =
+  (* --topology overrides -m with a data-driven machine (file or inline
+     spec); in fleet mode it becomes the default machine of every shard *)
+  let machine =
+    match topology_spec with
+    | None -> machine
+    | Some spec -> (
+        match Sys_.custom_machine_of_spec spec with
+        | Ok m -> m
+        | Error msg ->
+            Printf.eprintf "charm_serve: bad --topology spec: %s\n" msg;
+            exit 2)
+  in
   if closed_loop = None && rate <= 0.0 then begin
     Printf.eprintf "charm_serve: --rate must be positive\n";
     exit 2
@@ -248,6 +232,17 @@ let sys_arg =
 
 let machine_arg =
   Arg.(value & opt (enum machines) Sys_.Amd_milan & info [ "m"; "machine" ] ~doc:"Machine model.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Data-driven machine topology overriding $(b,-m): a path to a \
+           topology file (see examples/topologies/) or an inline \
+           ';'-separated spec. Supports heterogeneous chiplet kinds \
+           (big/little/accel) and per-chiplet link overrides.")
 
 let workers_arg =
   Arg.(value & opt int 32 & info [ "n"; "workers" ] ~doc:"Worker threads.")
@@ -424,7 +419,8 @@ let cmd =
   Cmd.v
     (Cmd.info "charm_serve" ~doc)
     Term.(
-      const main $ sys_arg $ machine_arg $ workers_arg $ cache_scale_arg
+      const main $ sys_arg $ machine_arg $ topology_arg $ workers_arg
+      $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
       $ trace_arg $ faults_arg $ check_arg $ fleet_arg $ router_arg

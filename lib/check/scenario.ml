@@ -133,13 +133,51 @@ let gen_kind mode ~machine ~cache_scale =
              fserve;
            })
 
+(* random data-driven machine: small geometries so fuzz runs stay fast,
+   kinds biased toward big so most cores keep baseline speed; sometimes a
+   degraded I/O-die link on one chiplet.  Guaranteed >= 4 cores. *)
+let gen_custom_machine =
+  let open Gen in
+  let* sockets = oneofl [ 1; 2 ] in
+  let* chiplets_per_socket = oneofl [ 2; 4 ] in
+  let* cores_per_chiplet = oneofl [ 2; 4 ] in
+  let* chiplet_group_size =
+    oneofl (if chiplets_per_socket = 4 then [ 1; 2; 4 ] else [ 1; 2 ])
+  in
+  let nchiplets = sockets * chiplets_per_socket in
+  let* kinds =
+    flatten_l
+      (List.init nchiplets (fun _ ->
+           frequencyl
+             [ (3, Topology.Big); (2, Topology.Little); (1, Topology.Accel) ]))
+  in
+  let* l2_kib = oneofl [ 16; 32; 64 ] in
+  let* l3_kib = oneofl [ 512; 1024 ] in
+  let* slow_link = frequencyl [ (2, None); (1, Some ()) ] in
+  let* slow_chiplet = int_range 0 (nchiplets - 1) in
+  let links = Array.make nchiplets Topology.default_link in
+  (match slow_link with
+  | Some () ->
+      links.(slow_chiplet) <-
+        { Topology.lat_mult = 1.5; bw_bytes_per_ns = 2.0 }
+  | None -> ());
+  let topo =
+    Topology.v ~chiplet_group_size ~l3_bytes_per_chiplet:(l3_kib * 1024)
+      ~l2_bytes_per_core:(l2_kib * 1024) ~mem_channels_per_socket:2
+      ~chiplet_kinds:(Array.of_list kinds) ~links ~sockets ~chiplets_per_socket
+      ~cores_per_chiplet ()
+  in
+  return (Systems.Custom { name = "fuzz-hetero"; topo })
+
 let gen ~mode ~seed =
   let open Gen in
   let* machine =
-    oneofl
-      (match mode with
+    let presets =
+      match mode with
       | Smoke -> [ Systems.Amd_milan_1s ]
-      | Deep -> [ Systems.Amd_milan_1s; Systems.Amd_milan; Systems.Intel_spr ])
+      | Deep -> [ Systems.Amd_milan_1s; Systems.Amd_milan; Systems.Intel_spr ]
+    in
+    frequency [ (4, oneofl presets); (1, gen_custom_machine) ]
   in
   let* sys =
     oneofl
@@ -153,6 +191,10 @@ let gen ~mode ~seed =
   in
   let* cache_scale = oneofl [ 16; 32; 64 ] in
   let* workers = int_range 2 (match mode with Smoke -> 6 | Deep -> 12) in
+  (* custom machines can be tiny (4 cores); presets always have >= 48 *)
+  let workers =
+    min workers (Topology.num_cores (Systems.topology machine ~cache_scale))
+  in
   let* kind = gen_kind mode ~machine ~cache_scale in
   (* fleet scenarios carry per-shard schedules inside the kind instead *)
   let* fault_n =
@@ -607,10 +649,13 @@ let sys_cli = function
   | Systems.Local_cache -> "local-cache"
   | Systems.Distributed_cache -> "distributed-cache"
 
-let machine_cli = function
-  | Systems.Amd_milan -> "amd"
-  | Systems.Amd_milan_1s -> "amd1s"
-  | Systems.Intel_spr -> "intel"
+(* machine CLI fragment, flag included: presets render as [-m NAME],
+   custom machines inline their whole spec through [--topology] so the
+   repro line stays self-contained *)
+let machine_frag = function
+  | Systems.Custom { topo; _ } ->
+      Printf.sprintf "--topology '%s'" (Topology.to_spec topo)
+  | m -> Printf.sprintf "-m %s" (Systems.machine_name m)
 
 let workload_cli = function
   | Bfs -> "-w bfs"
@@ -639,9 +684,9 @@ let serve_frags t (p : serve_params) =
          p.tenants)
   in
   Printf.sprintf
-    "-s %s -m %s -n %d --cache-scale %d --rate %g --jobs %d --seed %d \
+    "-s %s %s -n %d --cache-scale %d --rate %g --jobs %d --seed %d \
      --max-inflight %d --queue-bound %d --graph-scale %d%s"
-    (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale
+    (sys_cli t.sys) (machine_frag t.machine) t.workers t.cache_scale
     p.rate_per_s p.jobs t.seed p.max_inflight p.queue_bound
     p.serve_graph_scale tenant_frags
 
@@ -649,9 +694,9 @@ let to_repro t =
   match t.kind with
   | Batch { workload; graph_scale } ->
       Printf.sprintf
-        "charm_run %s -s %s -m %s -n %d --cache-scale %d --graph-scale %d \
+        "charm_run %s -s %s %s -n %d --cache-scale %d --graph-scale %d \
          --seed %d --check%s"
-        (workload_cli workload) (sys_cli t.sys) (machine_cli t.machine)
+        (workload_cli workload) (sys_cli t.sys) (machine_frag t.machine)
         t.workers t.cache_scale graph_scale t.seed (faults_frag t)
   | Serve p ->
       Printf.sprintf "charm_serve %s --check%s" (serve_frags t p)
@@ -698,4 +743,5 @@ let describe t =
       | _ -> 0)
   in
   Printf.sprintf "seed=%d %s on %s/%s n=%d cache/%d faults=%d" t.seed kind
-    (sys_cli t.sys) (machine_cli t.machine) t.workers t.cache_scale n_faults
+    (sys_cli t.sys) (Systems.machine_name t.machine) t.workers t.cache_scale
+    n_faults

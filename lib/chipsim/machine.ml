@@ -35,6 +35,16 @@ type t = {
       (* per-core accumulated memory-access latency: the "latency PMU"
          the health monitor divides by the fill-event count to get a
          clean ns/access signal, unaffected by compute time *)
+  kind_access_mult : float array;
+      (* per-core static memory-path multiplier from the core's kind;
+         exactly 1.0 on homogeneous-big machines so the product is a
+         bit-identical no-op there *)
+  kind_energy_pj : float array;
+      (* per-core energy charged per access, from the core's kind *)
+  energy_pj : float array;  (* per-core accumulated access energy *)
+  link_lat_mult : float array;
+      (* per-chiplet static I/O-die latency multiplier from the topology's
+         link table; composes with the dynamic fault multiplier *)
   mutable accesses : int;
       (* total access_line calls ever — every one must be classified into
          exactly one PMU fill-source counter, which check_invariants
@@ -48,6 +58,26 @@ let create ?(profile = Latency.default_profile) topo =
   if line_bytes land (line_bytes - 1) <> 0 then
     invalid_arg "Machine.create: line_bytes must be a power of two";
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  (* the per-chiplet link Memchan runs at the fastest link's bandwidth;
+     slower links are expressed as capacity factors, which is exactly how
+     dynamic membw faults scale channels — identical maths, so a topology
+     with all-default links matches the historical fixed 4.0 bytes/ns *)
+  let link_bw ch = topo.Topology.links.(ch).Topology.bw_bytes_per_ns in
+  let max_link_bw =
+    let m = ref (link_bw 0) in
+    for ch = 1 to chiplets - 1 do
+      if link_bw ch > !m then m := link_bw ch
+    done;
+    !m
+  in
+  let links_chan =
+    Memchan.create ~nodes:chiplets ~channels_per_node:1
+      ~bytes_per_ns_per_channel:max_link_bw ~line_bytes ()
+  in
+  for ch = 0 to chiplets - 1 do
+    let f = link_bw ch /. max_link_bw in
+    if f <> 1.0 then Memchan.set_capacity_factor links_chan ~node:ch f
+  done;
   {
     topo;
     profile;
@@ -65,9 +95,7 @@ let create ?(profile = Latency.default_profile) topo =
         ~channels_per_node:topo.Topology.mem_channels_per_socket
         ~bytes_per_ns_per_channel:topo.Topology.mem_bw_bytes_per_ns_per_channel
         ~line_bytes:topo.Topology.line_bytes ();
-    links =
-      Memchan.create ~nodes:(Topology.num_chiplets topo) ~channels_per_node:1
-        ~bytes_per_ns_per_channel:4.0 ~line_bytes:topo.Topology.line_bytes ();
+    links = links_chan;
     mem = Simmem.create topo;
     pmu = Pmu.create ~cores;
     mods = Modifiers.create ~cores ~chiplets ~nodes:topo.Topology.sockets;
@@ -88,6 +116,17 @@ let create ?(profile = Latency.default_profile) topo =
     scratch_clk = Array.make 1 0.0;
     chan_io = Array.make 2 0.0;
     mem_ns = Array.make cores 0.0;
+    kind_access_mult =
+      Array.init cores (fun c ->
+          (Topology.spec_of_kind topo (Topology.kind_of_core topo c))
+            .Topology.access_mult);
+    kind_energy_pj =
+      Array.init cores (fun c ->
+          (Topology.spec_of_kind topo (Topology.kind_of_core topo c))
+            .Topology.energy_pj);
+    energy_pj = Array.make cores 0.0;
+    link_lat_mult =
+      Array.init chiplets (fun ch -> topo.Topology.links.(ch).Topology.lat_mult);
     accesses = 0;
   }
 
@@ -170,11 +209,17 @@ let access_line_io t ~core ~write ~line clk slot =
                transfer crossing it. *)
             let io = t.chan_io in
             io.(0) <- now_ns;
-            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods chiplet;
+            io.(1) <-
+              base
+              *. Modifiers.unsafe_link_mult t.mods chiplet
+              *. Array.unsafe_get t.link_lat_mult chiplet;
             Memchan.charge t.links ~node:chiplet io;
             let l1 = io.(0) in
             io.(0) <- now_ns;
-            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods holder;
+            io.(1) <-
+              base
+              *. Modifiers.unsafe_link_mult t.mods holder
+              *. Array.unsafe_get t.link_lat_mult holder;
             Memchan.charge t.links ~node:holder io;
             let l2c = io.(0) in
             if l1 >= l2c then l1 else l2c
@@ -200,7 +245,10 @@ let access_line_io t ~core ~write ~line clk slot =
             (* DRAM traffic also crosses this chiplet's I/O-die link;
                the slower of the two queues dominates *)
             io.(0) <- now_ns;
-            io.(1) <- base *. Modifiers.unsafe_link_mult t.mods chiplet;
+            io.(1) <-
+              base
+              *. Modifiers.unsafe_link_mult t.mods chiplet
+              *. Array.unsafe_get t.link_lat_mult chiplet;
             Memchan.charge t.links ~node:chiplet io;
             let link_cost = io.(0) in
             if node_cost >= link_cost then node_cost else link_cost
@@ -241,6 +289,12 @@ let access_line_io t ~core ~write ~line clk slot =
     end
     else cost
   in
+  (* accelerator/little tiles see the shared memory path through a
+     less aggressive core frontend: one static multiplier per kind,
+     exactly 1.0 for big cores *)
+  let total = total *. Array.unsafe_get t.kind_access_mult core in
+  Array.unsafe_set t.energy_pj core
+    (Array.unsafe_get t.energy_pj core +. Array.unsafe_get t.kind_energy_pj core);
   t.mem_ns.(core) <- t.mem_ns.(core) +. total;
   clk.(slot) <- total
 
@@ -319,6 +373,11 @@ let flush_caches t =
   Memchan.reset t.links
 
 let mem_ns t ~core = t.mem_ns.(core)
+let energy_pj t ~core = t.energy_pj.(core)
+
+let total_energy_pj t =
+  Array.fold_left ( +. ) 0.0 t.energy_pj
+
 let accesses t = t.accesses
 
 (* Cheap structural checks, suitable for calling every few quanta from the
@@ -348,7 +407,12 @@ let check_invariants t =
     (fun core ns ->
       if not (Float.is_finite ns) || ns < 0.0 then
         Invariant.fail "machine: core %d memory-latency meter is %g" core ns)
-    t.mem_ns
+    t.mem_ns;
+  Array.iteri
+    (fun core e ->
+      if not (Float.is_finite e) || e < 0.0 then
+        Invariant.fail "machine: core %d energy meter is %g" core e)
+    t.energy_pj
 
 (* Adds the O(nodes * slots) memory-channel ring scans — end-of-run /
    fuzzer verification. *)
@@ -362,4 +426,5 @@ let reset t =
   Simmem.reset t.mem;
   Pmu.reset t.pmu;
   Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0;
+  Array.fill t.energy_pj 0 (Array.length t.energy_pj) 0.0;
   t.accesses <- 0

@@ -81,6 +81,14 @@ val mem_ns : t -> core:int -> float
     directly while compute time and scheduling delays leave it untouched;
     {!Core.Health_monitor} feeds on exactly that ratio. *)
 
+val energy_pj : t -> core:int -> float
+(** Accumulated access energy charged to this core, in picojoules: each
+    simulated access costs its core kind's [energy_pj] (see
+    {!Topology.kind_spec}).  Zeroed by {!reset}. *)
+
+val total_energy_pj : t -> float
+(** Sum of {!energy_pj} over all cores. *)
+
 val accesses : t -> int
 (** Total simulated accesses ({!access_line} calls) since creation or
     {!reset}.  Every one is classified into exactly one PMU fill-source

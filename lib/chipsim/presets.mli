@@ -5,6 +5,13 @@
     proportionally smaller datasets in the same shape; the default of 1
     models the real parts. *)
 
+val scale_topology : Topology.t -> scale:int -> Topology.t
+(** Divide both cache capacities by [scale], clamping each to a per-cache
+    minimum line count (16 lines for L2, 64 for L3) so the L2:L3 hierarchy
+    survives aggressive scaling; layout, kinds and links are untouched.
+    @raise Invalid_argument if [scale <= 0] or the scaled L2 would reach
+    or exceed the scaled L3 (an inverted hierarchy). *)
+
 val amd_milan : ?scale:int -> unit -> Topology.t
 (** Dual-socket AMD EPYC Milan 7713: 2 sockets x 8 chiplets x 8 cores,
     32 MB L3 per chiplet, 8 memory channels per socket. *)

@@ -10,6 +10,7 @@ type t = {
   profiler_overhead_ns : float;
   chiplet_first_steal : bool;
   decentralized : bool;
+  prefer_big_cores : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     profiler_overhead_ns = 40.0;
     chiplet_first_steal = true;
     decentralized = true;
+    prefer_big_cores = true;
   }
 
 let validate t topo =

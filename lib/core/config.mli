@@ -32,6 +32,10 @@ type t = {
       (** paper §4.1: each worker decides from its own counters.  [false]
           switches to a centralized variant (ablation): one arbiter
           averages all workers' rates and pushes a uniform spread_rate *)
+  prefer_big_cores : bool;
+      (** on heterogeneous topologies, fill the fastest chiplets first
+          when placing gangs and break flee-target ties toward faster
+          kinds; no effect on homogeneous machines *)
 }
 
 val default : t

@@ -47,7 +47,26 @@ let numa_node_of_core topo core = core / Topology.cores_per_socket topo
    [(chiplet, slot)] decomposes id bijectively —
      id = pass * (k*g) + chiplet * g + (slot mod g),  slot = pass*g + ...
    which coincides with the paper's mapping whenever k | cpc. *)
-let core_of_worker topo ~spread_rate ~n_workers ~worker =
+(* On a heterogeneous socket, Alg. 2's k-th chiplet is the k-th {e
+   fastest} chiplet: local chiplet indices permuted by descending kind
+   speed (stable, so homogeneous sockets keep the identity order and
+   placements there are unchanged byte-for-byte). *)
+let chiplet_speed_order topo ~socket =
+  let n = topo.Topology.chiplets_per_socket in
+  let order = Array.init n (fun i -> i) in
+  let speed local =
+    (Topology.spec_of_kind topo
+       (Topology.kind_of_chiplet topo ((socket * n) + local)))
+      .Topology.speed
+  in
+  Array.stable_sort
+    (fun a b ->
+      let sa = speed a and sb = speed b in
+      if sa = sb then compare a b else compare sb sa)
+    order;
+  order
+
+let core_of_worker ?(prefer_fast = true) topo ~spread_rate ~n_workers ~worker =
   if worker < 0 || worker >= n_workers then
     invalid_arg "Placement.core_of_worker: worker out of range";
   if not (valid_spread topo ~spread_rate ~n_workers) then None
@@ -63,17 +82,24 @@ let core_of_worker topo ~spread_rate ~n_workers ~worker =
     let chiplet = pos / g in
     let slot = (pass * g) + (pos mod g) in
     if slot >= cpc || chiplet >= topo.Topology.chiplets_per_socket then None
-    else Some ((socket * cps) + (chiplet * cpc) + slot)
+    else begin
+      let chiplet =
+        if prefer_fast && Topology.heterogeneous topo then
+          (chiplet_speed_order topo ~socket).(chiplet)
+        else chiplet
+      in
+      Some ((socket * cps) + (chiplet * cpc) + slot)
+    end
   end
 
-let gang topo ~spread_rate ~n_workers =
+let gang ?(prefer_fast = true) topo ~spread_rate ~n_workers =
   if not (valid_spread topo ~spread_rate ~n_workers) then None
   else begin
     let cores = Array.make n_workers (-1) in
     let seen = Array.make (Topology.num_cores topo) false in
     let ok = ref true in
     for w = 0 to n_workers - 1 do
-      match core_of_worker topo ~spread_rate ~n_workers ~worker:w with
+      match core_of_worker ~prefer_fast topo ~spread_rate ~n_workers ~worker:w with
       | None -> ok := false
       | Some core ->
           if seen.(core) then ok := false

@@ -12,11 +12,17 @@
 open Chipsim
 
 val core_of_worker :
+  ?prefer_fast:bool ->
   Topology.t -> spread_rate:int -> n_workers:int -> worker:int -> int option
 (** The Alg. 2 core for [worker], or [None] when the bounds check fails
     (spread out of range, or too few dedicated cores for the gang at this
     spread).  Guaranteed injective over [worker] for a fixed valid
-    configuration. *)
+    configuration.
+
+    On a heterogeneous topology with [prefer_fast] (the default), the
+    socket's chiplets are visited in descending kind-speed order, so a
+    gang fills big-core chiplets before little/accelerator ones; the
+    order is stable, so homogeneous topologies are unaffected. *)
 
 val valid_spread : Topology.t -> spread_rate:int -> n_workers:int -> bool
 (** The Alg. 2 line-2 sanity check. *)
@@ -27,5 +33,7 @@ val min_valid_spread : Topology.t -> n_workers:int -> int
 val numa_node_of_core : Topology.t -> int -> int
 (** Alg. 2 line 13. *)
 
-val gang : Topology.t -> spread_rate:int -> n_workers:int -> int array option
+val gang :
+  ?prefer_fast:bool ->
+  Topology.t -> spread_rate:int -> n_workers:int -> int array option
 (** All workers' cores at once ([gang.(w)] = core of worker [w]). *)

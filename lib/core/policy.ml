@@ -88,8 +88,8 @@ let update_location t sched ~worker ~core =
   let topo = Machine.topology t.machine in
   let st = t.states.(worker) in
   match
-    Placement.core_of_worker topo ~spread_rate:st.spread ~n_workers:t.n_workers
-      ~worker
+    Placement.core_of_worker ~prefer_fast:t.config.Config.prefer_big_cores topo
+      ~spread_rate:st.spread ~n_workers:t.n_workers ~worker
   with
   | None -> t.s_skipped <- t.s_skipped + 1
   | Some target when target = core -> ()
@@ -116,7 +116,8 @@ let flee_sick_chiplet t sched ~worker ~core =
   let topo = Machine.topology t.machine in
   if chiplet_sick t (Topology.chiplet_of_core topo core) then begin
     let cores = Topology.num_cores topo in
-    let best = ref (-1) and best_rank = ref max_int in
+    let prefer_fast = t.config.Config.prefer_big_cores in
+    let best = ref (-1) and best_rank = ref max_int and best_speed = ref 0.0 in
     for c = 0 to cores - 1 do
       if
         (not (chiplet_sick t (Topology.chiplet_of_core topo c)))
@@ -131,8 +132,13 @@ let flee_sick_chiplet t sched ~worker ~core =
           | Latency.Same_socket -> 3
           | Latency.Cross_socket -> 4
         in
-        if r < !best_rank then begin
+        let s = Topology.core_speed topo c in
+        (* equal-distance candidates: prefer the faster kind (strict >, so
+           homogeneous machines still pick the lowest-numbered core) *)
+        if r < !best_rank || (r = !best_rank && prefer_fast && s > !best_speed)
+        then begin
           best_rank := r;
+          best_speed := s;
           best := c
         end
       end

@@ -26,7 +26,10 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
     else Placement.min_valid_spread topo ~n_workers
   in
   let placement w =
-    match Placement.core_of_worker topo ~spread_rate:spread0 ~n_workers ~worker:w with
+    match
+      Placement.core_of_worker ~prefer_fast:config.Config.prefer_big_cores topo
+        ~spread_rate:spread0 ~n_workers ~worker:w
+    with
     | Some core -> core
     | None -> invalid_arg "Runtime.init: no valid placement for the gang"
   in

@@ -49,6 +49,11 @@ type t = {
       (* fault pump: called with the event-loop frontier before each pick *)
   workers : worker array;
   core_owner : int array;  (* core -> worker id, -1 if free *)
+  kind_speed : float array;
+      (* per-core static throughput multiplier from the topology's core
+         kind (big=1.0); composes with the dynamic DVFS factor at quantum
+         end.  Exactly 1.0 everywhere on homogeneous machines, keeping
+         those runs bit-identical *)
   rank : int array;  (* cores x cores distance ranks (Latency.rank_matrix) *)
   ncores : int;
   mutable placement_epoch : int;
@@ -366,6 +371,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     on_advance = None;
     workers;
     core_owner;
+    kind_speed = Array.init cores (fun c -> Topology.core_speed topo c);
     rank = Latency.rank_matrix topo;
     ncores = cores;
     placement_epoch = 0;
@@ -594,8 +600,20 @@ let rec pop_own_slow w =
       while w.pend_size > 0 && w.pend_keys.(0) <= w.clock.(0) do
         pend_drop_root w
       done;
-      assert (w.pend_size > 0);
-      w.clock.(0) <- w.pend_keys.(0);
+      if w.pend_size > 0 then w.clock.(0) <- w.pend_keys.(0)
+      else begin
+        (* The heap can run dry with future tasks still queued: a
+           fast-core (speed > 1) quantum rescale pulls the clock
+           backward past tasks that were due when enqueued, so no key
+           was ever pushed for them.  Recover the minimum by scanning
+           the deque — rare, and bounded by the queue length. *)
+        let m = ref infinity in
+        for i = 0 to len - 1 do
+          let task = dq_get w.ready i in
+          if task.ready_at < !m then m := task.ready_at
+        done;
+        w.clock.(0) <- !m
+      end;
       pop_own_slow w
     end
   end
@@ -786,7 +804,12 @@ let execute t w task =
      virtual time.  Rescaling at quantum end keeps the memory model exact
      (accesses were charged at nominal latency inside the quantum) while
      the task's forward progress per nanosecond drops with core speed. *)
-  let speed = Modifiers.core_speed (Machine.modifiers t.machine) w.core in
+  (* compose dynamic DVFS with the static kind speed: a little core's
+     quantum runs proportionally longer, an accelerator tile's shorter *)
+  let speed =
+    Modifiers.core_speed (Machine.modifiers t.machine) w.core
+    *. Array.unsafe_get t.kind_speed w.core
+  in
   if speed <> 1.0 then
     w.clock.(0) <- quantum_start +. ((w.clock.(0) -. quantum_start) /. speed);
   (match result with

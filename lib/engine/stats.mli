@@ -21,6 +21,9 @@ type report = {
   dram_bytes_per_node : int array;
   avg_bandwidth_gbps : float;
       (** total DRAM bytes / makespan, in GB/s of virtual time *)
+  energy_uj : float;
+      (** total access energy charged by the per-kind energy table
+          ({!Chipsim.Machine.total_energy_pj}), in microjoules *)
 }
 
 val collect : Machine.t -> makespan_ns:float -> report

@@ -55,10 +55,7 @@ let default_config ~seed =
     trace = false;
   }
 
-let machine_name = function
-  | Systems.Amd_milan -> "amd"
-  | Systems.Amd_milan_1s -> "amd1s"
-  | Systems.Intel_spr -> "intel"
+let machine_name = Systems.machine_name
 
 type shard_result = {
   shard : int;
@@ -315,13 +312,22 @@ let run cfg =
     in
     float_of_int sick /. float_of_int (max 1 n_chiplets)
   in
+  (* static per-shard heterogeneity factor: a fleet mixing big-core and
+     little-core machines should not route as if they were equal.
+     Exactly 1.0 for homogeneous shards, so preset fleets are unchanged. *)
+  let shard_kind_capacity =
+    Array.init n (fun s ->
+        Chipsim.Topology.relative_capacity
+          (Machine.topology (Session.instance sessions.(s)).Systems.machine))
+  in
   let refresh_views ~now =
     Array.iter
       (fun (v : Router.view) ->
         let s = v.Router.shard in
         let inst = Session.instance sessions.(s) in
         v.Router.capacity <-
-          Modifiers.online_capacity (Machine.modifiers inst.Systems.machine);
+          Modifiers.online_capacity (Machine.modifiers inst.Systems.machine)
+          *. shard_kind_capacity.(s);
         v.Router.sick_fraction <- sick_fraction s;
         v.Router.load_ns <-
           Float.max 0.0 (Session.backlog_ns sessions.(s) -. now)

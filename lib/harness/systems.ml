@@ -1,6 +1,10 @@
 open Chipsim
 
-type machine_kind = Amd_milan | Amd_milan_1s | Intel_spr
+type machine_kind =
+  | Amd_milan
+  | Amd_milan_1s
+  | Intel_spr
+  | Custom of { name : string; topo : Topology.t }
 
 type sys =
   | Charm
@@ -28,15 +32,44 @@ let sys_name = function
   | Local_cache -> "local-cache"
   | Distributed_cache -> "distributed-cache"
 
+let machine_name = function
+  | Amd_milan -> "amd"
+  | Amd_milan_1s -> "amd1s"
+  | Intel_spr -> "intel"
+  | Custom { name; _ } -> name
+
 let topology kind ~cache_scale =
   match kind with
   | Amd_milan -> Presets.amd_milan ~scale:cache_scale ()
   | Amd_milan_1s -> Presets.amd_milan_1s ~scale:cache_scale ()
   | Intel_spr -> Presets.intel_spr ~scale:cache_scale ()
+  | Custom { topo; _ } -> Presets.scale_topology topo ~scale:cache_scale
 
+(* Custom machines always use the default (AMD-calibrated) latency
+   profile: loading spr.topo is the same *geometry* as [-m intel] but not
+   the same interconnect timings.  Ship profile selection in the topology
+   file if that ever matters. *)
 let base_profile = function
-  | Amd_milan | Amd_milan_1s -> Latency.default_profile
+  | Amd_milan | Amd_milan_1s | Custom _ -> Latency.default_profile
   | Intel_spr -> Presets.intel_profile
+
+let custom_machine_of_spec spec =
+  let looks_like_path =
+    String.length spec > 0
+    && (Sys.file_exists spec
+       || Filename.check_suffix spec ".topo"
+       || String.contains spec '/')
+  in
+  if looks_like_path then
+    match Topology.of_file spec with
+    | Ok topo ->
+        let name = Filename.remove_extension (Filename.basename spec) in
+        Ok (Custom { name; topo })
+    | Error m -> Error (Printf.sprintf "%s: %s" spec m)
+  else
+    match Topology.of_string spec with
+    | Ok topo -> Ok (Custom { name = "custom"; topo })
+    | Error m -> Error m
 
 type instance = {
   env : Workloads.Exec_env.t;

@@ -11,6 +11,9 @@ type machine_kind =
   | Amd_milan  (** dual-socket EPYC Milan 7713 (the default testbed) *)
   | Amd_milan_1s  (** single-socket Milan (§2.3 microbenchmark) *)
   | Intel_spr  (** dual-socket Xeon Platinum 8488C (§5.3) *)
+  | Custom of { name : string; topo : Topology.t }
+      (** a data-driven topology, e.g. loaded from a [.topo] file; uses
+          the default latency profile *)
 
 type sys =
   | Charm
@@ -30,7 +33,19 @@ val all_baseline_systems : sys list
 (** The four comparison systems of §5.1 (plus OS default). *)
 
 val sys_name : sys -> string
+
+val machine_name : machine_kind -> string
+(** Short CLI name ("amd", "amd1s", "intel"; a [Custom]'s own name). *)
+
 val topology : machine_kind -> cache_scale:int -> Topology.t
+(** [cache_scale] is applied with {!Chipsim.Presets.scale_topology} for
+    every kind, including [Custom] — so a preset-as-data file scales
+    exactly like its preset-as-code twin. *)
+
+val custom_machine_of_spec : string -> (machine_kind, string) result
+(** Build a [Custom] machine from a [--topology] argument: a path to a
+    topology file (named after the file), or an inline [';']-separated
+    spec (named "custom").  Errors are one line naming what failed. *)
 
 type instance = {
   env : Workloads.Exec_env.t;

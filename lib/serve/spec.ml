@@ -1,0 +1,67 @@
+(* CLI spec parsing for the serving layer, shared by charm_serve and the
+   fuzzer's repro round-trips.  Every parser returns a one-line error
+   naming the offending field — never a silent default, never an
+   exception backtrace. *)
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let parse_tenant spec =
+  match String.split_on_char ':' spec with
+  | name :: weight_s :: kinds_rest when name <> "" -> (
+      match float_of_string_opt weight_s with
+      | None ->
+          err "bad tenant spec %S: weight %S is not a number" spec weight_s
+      | Some w when not (Float.is_finite w && w > 0.0) ->
+          err "bad tenant spec %S: weight %g must be positive" spec w
+      | Some weight -> (
+          (* kind names may contain ':' (tpch:3), so rejoin before
+             splitting on the '+' separators *)
+          let kind_names =
+            String.concat ":" kinds_rest |> String.split_on_char '+'
+          in
+          if kinds_rest = [] || List.exists (fun k -> k = "") kind_names then
+            err "bad tenant spec %S: empty job-kind list (want KIND+KIND+...)"
+              spec
+          else
+            let rec resolve acc = function
+              | [] -> Ok (List.rev acc)
+              | k :: rest -> (
+                  match Job.kind_of_string k with
+                  | Some kind -> resolve ((kind, 1) :: acc) rest
+                  | None -> err "bad tenant spec %S: unknown job kind %S" spec k)
+            in
+            match resolve [] kind_names with
+            | Ok mix -> Ok (name, weight, mix)
+            | Error _ as e -> e))
+  | _ ->
+      err "bad tenant spec %S: want NAME:WEIGHT:KIND+KIND (e.g. gold:2:bfs+tpch:3)"
+        spec
+
+let parse_shard_machines ~machines spec =
+  let names = String.split_on_char ',' spec in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+        let n = String.trim n in
+        match List.assoc_opt n machines with
+        | Some m -> resolve (m :: acc) rest
+        | None ->
+            err "bad --shard-machines list %S: unknown machine %S (want %s)"
+              spec n
+              (String.concat "/" (List.map fst machines)))
+  in
+  if spec = "" then err "bad --shard-machines list: empty" else resolve [] names
+
+let parse_shard_fault spec =
+  match String.index_opt spec ':' with
+  | Some i when i > 0 -> (
+      let shard_s = String.sub spec 0 i in
+      match int_of_string_opt shard_s with
+      | None ->
+          err "bad --faults-shard entry %S: shard %S is not an integer" spec
+            shard_s
+      | Some shard when shard < 0 ->
+          err "bad --faults-shard entry %S: shard %d must be >= 0" spec shard
+      | Some shard ->
+          Ok (shard, String.sub spec (i + 1) (String.length spec - i - 1)))
+  | _ -> err "bad --faults-shard entry %S: want SHARD:SPEC" spec

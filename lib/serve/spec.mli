@@ -1,0 +1,20 @@
+(** CLI spec parsing for the serving layer.
+
+    Shared by [charm_serve] and tests so malformed [--tenant],
+    [--shard-machines] and [--faults-shard] arguments fail with a
+    one-line error naming the offending field rather than a silent
+    default or an exception. *)
+
+val parse_tenant :
+  string -> (string * float * (Job.kind * int) list, string) result
+(** Parse a ["name:weight:kind+kind+..."] tenant spec (kind names may
+    themselves contain [':'], e.g. [tpch:3]).  Each kind gets mix
+    weight 1. *)
+
+val parse_shard_machines :
+  machines:(string * 'a) list -> string -> ('a list, string) result
+(** Parse a comma-separated machine-name list against a name table. *)
+
+val parse_shard_fault : string -> (int * string, string) result
+(** Parse a ["SHARD:SPEC"] entry; the fault spec itself is parsed later
+    against the shard's topology. *)

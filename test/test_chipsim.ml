@@ -2,6 +2,7 @@ let () =
   Alcotest.run "chipsim"
     [
       ("topology", Test_topology.suite);
+      ("topology-file", Test_topo_file.suite);
       ("latency", Test_latency.suite);
       ("cache", Test_cache.suite);
       ("directory", Test_directory.suite);

@@ -115,9 +115,50 @@ let test_link_saturation () =
   in
   Alcotest.(check bool) "contended stream slower" true (crowded > 1.2 *. solo)
 
+(* heterogeneous kinds: a little core's accesses cost access_mult more
+   than a big core's identical access, every access charges its kind's
+   energy, and an all-big machine is bit-identical to the historical
+   model *)
+let test_kind_costs () =
+  let hetero =
+    Topology.v ~sockets:1 ~chiplets_per_socket:2 ~cores_per_chiplet:2
+      ~chiplet_group_size:1 ~l3_bytes_per_chiplet:(16 * 1024)
+      ~l2_bytes_per_core:4096 ~mem_channels_per_socket:2
+      ~chiplet_kinds:[| Topology.Big; Topology.Little |] ()
+  in
+  let m = Machine.create hetero in
+  let r = Machine.alloc m ~elt_bytes:8 ~count:64 () in
+  (* identical cold DRAM access from a big core (0) and a little core
+     (2), on disjoint lines so neither warms the other's path *)
+  let big = Machine.touch m ~core:0 ~now_ns:0.0 ~write:false r 0 in
+  let little = Machine.touch m ~core:2 ~now_ns:0.0 ~write:false r 32 in
+  let mult = (Topology.spec_of_kind hetero Topology.Little).Topology.access_mult in
+  Alcotest.(check (float 1e-6)) "little pays access-mult" (big *. mult) little;
+  let e_big = (Topology.spec_of_kind hetero Topology.Big).Topology.energy_pj in
+  let e_little = (Topology.spec_of_kind hetero Topology.Little).Topology.energy_pj in
+  Alcotest.(check (float 1e-9)) "big energy" e_big (Machine.energy_pj m ~core:0);
+  Alcotest.(check (float 1e-9)) "little energy" e_little
+    (Machine.energy_pj m ~core:2);
+  Alcotest.(check (float 1e-9)) "total energy" (e_big +. e_little)
+    (Machine.total_energy_pj m)
+
+let test_homogeneous_bit_identical () =
+  (* the default kind table must not perturb a homogeneous machine *)
+  let a = machine () and b = machine () in
+  let ra = Machine.alloc a ~elt_bytes:8 ~count:256 () in
+  let rb = Machine.alloc b ~elt_bytes:8 ~count:256 () in
+  for i = 0 to 255 do
+    let ca = Machine.touch a ~core:(i mod 16) ~now_ns:(float_of_int i) ~write:(i mod 3 = 0) ra i in
+    let cb = Machine.touch b ~core:(i mod 16) ~now_ns:(float_of_int i) ~write:(i mod 3 = 0) rb i in
+    if ca <> cb then Alcotest.failf "access %d diverged: %f vs %f" i ca cb
+  done
+
 let suite =
   [
     Alcotest.test_case "dram then cache hits" `Quick test_dram_then_l3;
+    Alcotest.test_case "kind access and energy costs" `Quick test_kind_costs;
+    Alcotest.test_case "homogeneous runs unperturbed" `Quick
+      test_homogeneous_bit_identical;
     Alcotest.test_case "prefetch discount" `Quick test_prefetch_discount;
     Alcotest.test_case "link saturation" `Quick test_link_saturation;
     Alcotest.test_case "remote chiplet fill" `Quick test_remote_chiplet_fill;

@@ -82,6 +82,54 @@ let prop_intel_collision_free =
       if not (Placement.valid_spread topo ~spread_rate ~n_workers) then true
       else Option.is_some (Placement.gang topo ~spread_rate ~n_workers))
 
+(* heterogeneity: a gang on a big/little machine fills big chiplets
+   first, and ~prefer_fast:false (or a homogeneous machine) restores the
+   historical identity order *)
+let hetero () =
+  Topology.v ~sockets:1 ~chiplets_per_socket:4 ~cores_per_chiplet:2
+    ~chiplet_group_size:2 ~l3_bytes_per_chiplet:(16 * 1024)
+    ~l2_bytes_per_core:4096 ~mem_channels_per_socket:2
+    ~chiplet_kinds:[| Topology.Little; Accel; Big; Little |] ()
+
+let test_prefer_big_cores () =
+  let topo = hetero () in
+  (match Placement.gang topo ~spread_rate:2 ~n_workers:4 with
+  | None -> Alcotest.fail "valid gang expected"
+  | Some cores ->
+      (* speed order: accel chiplet 1 (2.5), big chiplet 2 (1.0), then the
+         littles 0 and 3 (0.6, stable by index); spread 2 interleaves the
+         gang across the two fastest chiplets *)
+      Alcotest.(check (array int)) "fast chiplets first" [| 2; 4; 3; 5 |] cores);
+  (match Placement.gang ~prefer_fast:false topo ~spread_rate:2 ~n_workers:4 with
+  | None -> Alcotest.fail "valid gang expected"
+  | Some cores ->
+      Alcotest.(check (array int)) "identity order when disabled"
+        [| 0; 2; 1; 3 |] cores);
+  match Placement.gang (amd ()) ~spread_rate:1 ~n_workers:8 with
+  | None -> Alcotest.fail "valid gang expected"
+  | Some cores ->
+      Alcotest.(check (array int)) "homogeneous unchanged"
+        (Array.init 8 Fun.id) cores
+
+let prop_hetero_collision_free =
+  QCheck.Test.make ~name:"alg2 collision-free on a hetero machine" ~count:300
+    QCheck.(pair (int_range 1 2) (int_range 1 8))
+    (fun (spread_rate, n_workers) ->
+      let topo = hetero () in
+      if not (Placement.valid_spread topo ~spread_rate ~n_workers) then true
+      else
+        match Placement.gang topo ~spread_rate ~n_workers with
+        | Some cores ->
+            let sorted = Array.copy cores in
+            Array.sort compare sorted;
+            Array.length
+              (Array.of_list (List.sort_uniq compare (Array.to_list cores)))
+            = Array.length cores
+            && Array.for_all
+                 (fun c -> c >= 0 && c < Topology.num_cores topo)
+                 sorted
+        | None -> false)
+
 let test_out_of_range_worker () =
   let topo = amd () in
   Alcotest.check_raises "worker range"
@@ -97,6 +145,9 @@ let suite =
     Alcotest.test_case "second socket spills" `Quick test_second_socket_spills;
     Alcotest.test_case "numa node of core" `Quick test_numa_node_of_core;
     Alcotest.test_case "out-of-range worker" `Quick test_out_of_range_worker;
+    Alcotest.test_case "big cores preferred on hetero machines" `Quick
+      test_prefer_big_cores;
     QCheck_alcotest.to_alcotest prop_collision_free;
     QCheck_alcotest.to_alcotest prop_intel_collision_free;
+    QCheck_alcotest.to_alcotest prop_hetero_collision_free;
   ]
