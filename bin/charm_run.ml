@@ -28,7 +28,7 @@ let machines =
 
 let workloads =
   [ "bfs"; "pr"; "cc"; "sssp"; "gups"; "graph500"; "streamcluster"; "sgd";
-    "tpch"; "ycsb"; "tpcc" ]
+    "tpch"; "ycsb"; "tpcc"; "dag" ]
 
 let run_workload env inst ~workload ~graph_scale ~query ~seed =
   let open Workloads in
@@ -103,6 +103,43 @@ let run_workload env inst ~workload ~graph_scale ~query ~seed =
       let o = Oltp.Tpcc.run env p in
       Printf.printf "TPC-C: %.3e commits/s (%d new orders)\n"
         o.Oltp.Tpcc.commits_per_second o.Oltp.Tpcc.new_orders
+  | "dag" ->
+      (* one inference DAG per shape, executed under both mappers so the
+         comm-aware advantage is visible from the CLI *)
+      let topo = Chipsim.Machine.topology (Exec_env.machine env) in
+      let dag_seed = Option.value seed ~default:7 in
+      let usable =
+        let sched = env.Exec_env.sched in
+        let hosted =
+          List.filter
+            (fun ch ->
+              List.exists
+                (fun core -> Engine.Sched.worker_of_core sched core <> None)
+                (Chipsim.Topology.cores_of_chiplet topo ch))
+            (List.init (Chipsim.Topology.num_chiplets topo) Fun.id)
+        in
+        match hosted with [] -> None | l -> Some (Array.of_list l)
+      in
+      List.iter
+        (fun shape ->
+          let g = Taskgraph.Graph.generate ~shape ~layers:6 ~seed:dag_seed () in
+          Printf.printf "DAG %-12s (%d nodes, %d edges):" (Taskgraph.Graph.name g)
+            (Taskgraph.Graph.num_nodes g) (Taskgraph.Graph.num_edges g);
+          List.iter
+            (fun policy ->
+              let m = Taskgraph.Mapper.map ?usable topo ~policy g in
+              let span = ref 0.0 in
+              ignore
+                (env.Exec_env.run (fun ctx ->
+                     span := (Taskgraph.Exec.run ctx m g).Taskgraph.Exec.span_ns)
+                  : float);
+              Printf.printf "  %s %.1f us (cut %d KiB)"
+                (Taskgraph.Mapper.policy_name policy)
+                (!span /. 1e3)
+                (m.Taskgraph.Mapper.cross_bytes / 1024))
+            Taskgraph.Mapper.all_policies;
+          print_newline ())
+        Taskgraph.Graph.all_shapes
   | other -> Printf.eprintf "unknown workload %s\n" other);
   let report = Sys_.report inst in
   Format.printf "---@.%a@." Engine.Stats.pp report

@@ -53,10 +53,13 @@ let load_fault_spec spec =
   end
   else spec
 
-(* --shard-machines accepts a comma-separated preset list cycled over the
-   shards, e.g. "amd,intel" *)
+(* --shard-machines accepts a comma-separated list cycled over the
+   shards; each entry is a preset ("amd,intel") or a topology-file path,
+   so a fleet can mix preset and data-driven machines *)
 let parse_shard_machines spec =
-  msg_of_result (Serve.Spec.parse_shard_machines ~machines spec)
+  msg_of_result
+    (Serve.Spec.parse_shard_machines ~fallback:Sys_.custom_machine_of_spec
+       ~machines spec)
 
 (* --faults-shard entries are SHARD:SPEC (spec inline or a file path) *)
 let parse_shard_fault spec = msg_of_result (Serve.Spec.parse_shard_fault spec)
@@ -132,7 +135,7 @@ let run_fleet ~n_shards ~sys ~machine ~shard_machines ~workers ~cache_scale
 
 let main sys machine topology_spec workers cache_scale rate jobs seed
     max_inflight queue_bound slo_factor closed_loop think_us tenant_specs
-    graph_scale trace_file fault_spec check fleet router epoch_us
+    graph_scale dag_mapper trace_file fault_spec check fleet router epoch_us
     shard_machines shard_faults diurnal diurnal_period_us no_relocation plant =
   (* --topology overrides -m with a data-driven machine (file or inline
      spec); in fleet mode it becomes the default machine of every shard *)
@@ -178,7 +181,13 @@ let main sys machine topology_spec workers cache_scale rate jobs seed
         };
       max_inflight;
       seed;
-      data = { Serve.Job.default_data_config with graph_scale; seed = seed + 1 };
+      data =
+        {
+          Serve.Job.default_data_config with
+          graph_scale;
+          dag_comm_aware = dag_mapper = Taskgraph.Mapper.Comm_aware;
+          seed = seed + 1;
+        };
       trace;
       on_complete = None;
       check;
@@ -279,6 +288,22 @@ let tenants_arg =
 let graph_scale_arg =
   Arg.(value & opt int 10 & info [ "graph-scale" ] ~doc:"log2 of shared graph vertices.")
 
+let dag_mapper_arg =
+  let policies =
+    List.map
+      (fun p -> (Taskgraph.Mapper.policy_name p, p))
+      Taskgraph.Mapper.all_policies
+  in
+  Arg.(
+    value
+    & opt (enum policies) Taskgraph.Mapper.Comm_aware
+    & info [ "dag-mapper" ] ~docv:"POLICY"
+        ~doc:
+          "How task-DAG tenants (kinds $(b,dag:SHAPE:LAYERS)) are mapped \
+           onto chiplets: $(b,comm-aware) (contract heavy edges, place \
+           clusters by kind-weighted load) or $(b,blind) (round-robin \
+           baseline).")
+
 let trace_arg =
   Arg.(
     value
@@ -334,8 +359,9 @@ let router_arg =
         ~doc:
           "Fleet placement policy: $(b,charm) (load over effective \
            capacity, chiplet-health-aware, tenant affinity), \
-           $(b,least-loaded) (load only, chiplet-blind), or \
-           $(b,round-robin).")
+           $(b,least-loaded) (load only, chiplet-blind), $(b,ewma) \
+           (EWMA of observed per-shard job latencies times queue depth), \
+           or $(b,round-robin).")
 
 let epoch_us_arg =
   Arg.(
@@ -351,8 +377,7 @@ let shard_machines_conv =
     ( parse_shard_machines,
       fun ppf ms ->
         Format.fprintf ppf "%s"
-          (String.concat ","
-             (List.map (fun m -> fst (List.find (fun (_, k) -> k = m) machines)) ms)) )
+          (String.concat "," (List.map Sys_.machine_name ms)) )
 
 let shard_machines_arg =
   Arg.(
@@ -360,9 +385,11 @@ let shard_machines_arg =
     & opt (some shard_machines_conv) None
     & info [ "shard-machines" ] ~docv:"LIST"
         ~doc:
-          "Comma-separated machine presets cycled over the shards (e.g. \
-           $(b,amd,intel)); defaults to the --machine preset for every \
-           shard.")
+          "Comma-separated machine specs cycled over the shards: presets \
+           (e.g. $(b,amd,intel)) and/or topology-file paths (e.g. \
+           $(b,amd,examples/topologies/tiny-hetero.topo) for a \
+           heterogeneous fleet); defaults to the --machine preset for \
+           every shard.")
 
 let shard_fault_conv =
   Arg.conv (parse_shard_fault, fun ppf (s, spec) -> Format.fprintf ppf "%d:%s" s spec)
@@ -423,6 +450,7 @@ let cmd =
       $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
+      $ dag_mapper_arg
       $ trace_arg $ faults_arg $ check_arg $ fleet_arg $ router_arg
       $ epoch_us_arg
       $ Term.(

@@ -49,6 +49,14 @@ let catalog =
        completions plus shard sheds plus router sheds, and per shard \
        completed + relocated_out = admitted (relocated jobs are never \
        lost or double-counted)" );
+    ( "taskgraph.dag-precedence",
+      "no task-DAG node observes a start time before every one of its \
+       predecessors' recorded finish times (edges are real happens-before \
+       constraints, even across chiplets and stolen quanta)" );
+    ( "taskgraph.edge-byte-conservation",
+      "per DAG job, the bytes charged through chiplet links equal exactly \
+       the bytes on edges the mapping cuts — every cut edge transfers \
+       once, no cut edge is skipped, no intra-chiplet edge pays" );
     ( "fleet.no-offline-placement",
       "the router never places a job — fresh or relocated — onto a \
        fully-offline shard (online capacity 0); when every shard is \

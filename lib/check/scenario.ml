@@ -53,7 +53,12 @@ let batch_workloads = [ Bfs; Pagerank; Tpch 1; Tpch 3; Tpch 6; Gups ]
 
 let serve_kind_pool =
   Serving.Job.
-    [ Bfs; Pagerank; Gups 512; Gups 2048; Tpch 1; Tpch 3; Tpch 6; Ycsb_batch 64 ]
+    [
+      Bfs; Pagerank; Gups 512; Gups 2048; Tpch 1; Tpch 3; Tpch 6; Ycsb_batch 64;
+      Dag (Taskgraph.Graph.Chain, 4);
+      Dag (Taskgraph.Graph.Inception, 3);
+      Dag (Taskgraph.Graph.Fanout, 4);
+    ]
 
 let tenant_names = [ "gold"; "silver"; "bronze" ]
 

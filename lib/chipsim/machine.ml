@@ -49,6 +49,11 @@ type t = {
       (* total access_line calls ever — every one must be classified into
          exactly one PMU fill-source counter, which check_invariants
          verifies *)
+  mutable xfer_bytes : int;
+      (* payload bytes of cross-chiplet bulk transfers ({!transfer}),
+         rounded up to whole lines; each such transfer occupies BOTH
+         endpoint links, so 2 * xfer_bytes never exceeds the links'
+         total bytes served — checked by check_invariants_full *)
 }
 
 let create ?(profile = Latency.default_profile) topo =
@@ -128,6 +133,7 @@ let create ?(profile = Latency.default_profile) topo =
     link_lat_mult =
       Array.init chiplets (fun ch -> topo.Topology.links.(ch).Topology.lat_mult);
     accesses = 0;
+    xfer_bytes = 0;
   }
 
 let topology t = t.topo
@@ -361,6 +367,45 @@ let touch_range t ~core ~now_ns ~write region ~lo ~hi =
     c.(0)
   end
 
+(* Bulk chiplet-to-chiplet transfer — the task-graph edge path.  Bytes are
+   rounded up to whole lines so the link channels keep their whole-line
+   accounting.  A transfer within one chiplet stays inside the local L3
+   and costs one same-chiplet hop regardless of size; a cross-chiplet
+   transfer pays the distance-classified base latency (inflated by a
+   degraded cross-socket fabric) plus serialization and contention on
+   BOTH endpoints' I/O-die links, the slower of the two dominating —
+   the same composition as the cache-to-cache fill path above. *)
+let transfer t ~src_chiplet ~dst_chiplet ~now_ns ~bytes =
+  if src_chiplet < 0 || src_chiplet >= t.nchiplets then
+    invalid_arg "Machine.transfer: src chiplet out of range";
+  if dst_chiplet < 0 || dst_chiplet >= t.nchiplets then
+    invalid_arg "Machine.transfer: dst chiplet out of range";
+  if bytes < 0 then invalid_arg "Machine.transfer: negative byte count";
+  if bytes = 0 then 0.0
+  else if src_chiplet = dst_chiplet then t.profile.Latency.same_chiplet_ns
+  else begin
+    let line_bytes = t.topo.Topology.line_bytes in
+    let lines = (bytes + line_bytes - 1) / line_bytes in
+    t.xfer_bytes <- t.xfer_bytes + (lines * line_bytes);
+    let base0 = t.chiplet_base_ns.((src_chiplet * t.nchiplets) + dst_chiplet) in
+    let base =
+      if t.chiplet_socket.(src_chiplet) = t.chiplet_socket.(dst_chiplet) then
+        base0
+      else base0 *. Modifiers.xsocket_mult t.mods
+    in
+    let leg chiplet =
+      Memchan.charge_lines t.links ~node:chiplet ~now_ns
+        ~base_ns:
+          (base
+          *. Modifiers.unsafe_link_mult t.mods chiplet
+          *. t.link_lat_mult.(chiplet))
+        ~lines
+    in
+    Float.max (leg src_chiplet) (leg dst_chiplet)
+  end
+
+let transferred_bytes t = t.xfer_bytes
+
 let core_to_core_ns t a b = Latency.core_to_core_ns ~profile:t.profile t.topo a b
 let dram_load_ratio t ~node ~now_ns = Memchan.load_ratio t.chan ~node ~now_ns
 let dram_bytes_served t ~node = Memchan.bytes_served t.chan ~node
@@ -370,7 +415,10 @@ let flush_caches t =
   Array.iter Cache.clear t.l2;
   Directory.clear t.dir;
   Memchan.reset t.chan;
-  Memchan.reset t.links
+  Memchan.reset t.links;
+  (* the links' byte totals restart, so the transfer ledger they bound
+     must restart with them *)
+  t.xfer_bytes <- 0
 
 let mem_ns t ~core = t.mem_ns.(core)
 let energy_pj t ~core = t.energy_pj.(core)
@@ -419,7 +467,24 @@ let check_invariants t =
 let check_invariants_full t =
   check_invariants t;
   Memchan.check_invariants t.chan;
-  Memchan.check_invariants t.links
+  Memchan.check_invariants t.links;
+  (* edge-byte conservation: every cross-chiplet transfer occupied both
+     endpoint links, and the links also carry cache-fill traffic on top *)
+  if t.xfer_bytes < 0 then
+    Invariant.fail "machine: negative transfer ledger %d" t.xfer_bytes;
+  if t.xfer_bytes mod t.topo.Topology.line_bytes <> 0 then
+    Invariant.fail
+      "machine: transfer ledger %d not a multiple of the %d-byte line"
+      t.xfer_bytes t.topo.Topology.line_bytes;
+  let link_total = ref 0 in
+  for ch = 0 to t.nchiplets - 1 do
+    link_total := !link_total + Memchan.bytes_served t.links ~node:ch
+  done;
+  if 2 * t.xfer_bytes > !link_total then
+    Invariant.fail
+      "machine: transfer ledger %d bytes (x2 link legs) exceeds the %d bytes \
+       the links ever served"
+      t.xfer_bytes !link_total
 
 let reset t =
   flush_caches t;
@@ -427,4 +492,5 @@ let reset t =
   Pmu.reset t.pmu;
   Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0;
   Array.fill t.energy_pj 0 (Array.length t.energy_pj) 0.0;
-  t.accesses <- 0
+  t.accesses <- 0;
+  t.xfer_bytes <- 0

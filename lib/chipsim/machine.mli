@@ -69,6 +69,26 @@ val touch_range_clk :
 (** Clock-cell variant of {!touch_range}: advances [clk.(slot)] by the
     summed (prefetch-discounted) latency of the range. *)
 
+val transfer :
+  t -> src_chiplet:int -> dst_chiplet:int -> now_ns:float -> bytes:int ->
+  float
+(** [transfer t ~src_chiplet ~dst_chiplet ~now_ns ~bytes] simulates a bulk
+    chiplet-to-chiplet data movement (a task-graph edge) and returns its
+    latency in virtual ns.  Bytes round up to whole cache lines.  Within
+    one chiplet the payload stays in the local L3 and costs a single
+    same-chiplet hop; across chiplets it pays the distance-classified base
+    latency (times the cross-socket fault multiplier where applicable)
+    plus serialization and contention on {e both} endpoints' I/O-die links
+    via {!Memchan.charge_lines}, the slower leg dominating.  [bytes = 0]
+    is free.
+    @raise Invalid_argument on out-of-range chiplets or negative bytes. *)
+
+val transferred_bytes : t -> int
+(** Total payload bytes ever moved cross-chiplet by {!transfer}
+    (line-rounded) since creation, {!reset} or {!flush_caches} — the
+    ledger the edge-byte conservation invariant checks against the link
+    channels' byte totals. *)
+
 val core_to_core_ns : t -> int -> int -> float
 val dram_load_ratio : t -> node:int -> now_ns:float -> float
 val dram_bytes_served : t -> node:int -> int

@@ -112,6 +112,50 @@ let charge t ~node io =
   let f = if load <= 1.0 then 1.0 +. (0.3 *. load) else 1.3 +. (2.0 *. (load -. 1.0)) in
   io.(0) <- base_ns *. f
 
+(* Bulk transfer: [lines] whole lines charged against one bin in a single
+   update — the task-graph edge path, where a tensor's bytes cross the
+   channel at once rather than line-by-line through the cache hierarchy.
+   The latency adds a serialization term (bytes over the node's
+   deliverable bytes/ns) to [base_ns], then applies the same contention
+   factor as [charge], computed at the post-charge bin load.  Demand and
+   byte totals stay whole lines, so [check_invariants] holds unchanged. *)
+let charge_lines t ~node ~now_ns ~base_ns ~lines =
+  check_node t node;
+  if lines < 0 then invalid_arg "Memchan.charge_lines: negative line count";
+  if lines = 0 then base_ns
+  else begin
+    let bytes = lines * t.line_bytes in
+    let bin = bin_of t now_ns in
+    let s = slot t node bin in
+    t.total_bytes.(node) <- t.total_bytes.(node) + bytes;
+    let demand_bytes =
+      let id = t.bin_ids.(s) in
+      if id = bin then begin
+        let b = t.bin_bytes.(s) + bytes in
+        t.bin_bytes.(s) <- b;
+        b
+      end
+      else if id < bin then begin
+        t.bin_ids.(s) <- bin;
+        t.bin_bytes.(s) <- bytes;
+        bytes
+      end
+      else begin
+        (* stale ring-wraparound access: same policy as [charge] *)
+        t.stale_accesses <- t.stale_accesses + 1;
+        bytes
+      end
+    in
+    let cap = t.capacity_bytes_per_bin *. t.cap_factor.(node) in
+    let load = float_of_int demand_bytes /. cap in
+    let f =
+      if load <= 1.0 then 1.0 +. (0.3 *. load)
+      else 1.3 +. (2.0 *. (load -. 1.0))
+    in
+    let serialization_ns = float_of_int bytes *. t.bin_ns /. cap in
+    (base_ns +. serialization_ns) *. f
+  end
+
 let access_ns t ~node ~now_ns ~base_ns =
   let io = t.scratch_io in
   io.(0) <- now_ns;

@@ -40,6 +40,19 @@ val access_ns : t -> node:int -> now_ns:float -> base_ns:float -> float
     [node] at virtual time [now_ns] and returns the contention-adjusted
     latency (at least [base_ns]).  Convenience wrapper over {!charge}. *)
 
+val charge_lines :
+  t -> node:int -> now_ns:float -> base_ns:float -> lines:int -> float
+(** [charge_lines t ~node ~now_ns ~base_ns ~lines] records a bulk transfer
+    of [lines] whole lines against [node]'s bin at [now_ns] — the
+    task-graph edge path, where a tensor's bytes cross the channel at once
+    — and returns the contention-adjusted latency: [base_ns] plus a
+    serialization term ([lines * line_bytes] over the node's deliverable
+    bytes/ns), scaled by the same contention factor as {!charge} at the
+    post-charge bin load.  [lines = 0] returns [base_ns] without touching
+    the channel.  Byte totals stay whole lines, so {!check_invariants} is
+    preserved.
+    @raise Invalid_argument on a negative line count. *)
+
 val load_ratio : t -> node:int -> now_ns:float -> float
 (** Demand / effective capacity of the bin containing [now_ns]
     (1.0 = saturated). *)

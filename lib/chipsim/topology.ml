@@ -10,6 +10,7 @@ type kind_spec = {
   speed : float;
   access_mult : float;
   energy_pj : float;
+  general_tasks : bool;
 }
 
 type link = {
@@ -49,9 +50,9 @@ let kind_of_name = function
    path) for raw throughput. *)
 let default_kind_specs =
   [|
-    { speed = 1.0; access_mult = 1.0; energy_pj = 0.87 };
-    { speed = 0.6; access_mult = 1.15; energy_pj = 0.30 };
-    { speed = 2.5; access_mult = 1.30; energy_pj = 0.22 };
+    { speed = 1.0; access_mult = 1.0; energy_pj = 0.87; general_tasks = true };
+    { speed = 0.6; access_mult = 1.15; energy_pj = 0.30; general_tasks = true };
+    { speed = 2.5; access_mult = 1.30; energy_pj = 0.22; general_tasks = false };
   |]
 
 let default_link = { lat_mult = 1.0; bw_bytes_per_ns = 4.0 }
@@ -180,6 +181,13 @@ let kind_of_core t core = t.chiplet_kinds.(chiplet_of_core t core)
 let spec_of_kind t kind = t.kind_specs.(kind_index kind)
 let core_speed t core = (spec_of_kind t (kind_of_core t core)).speed
 
+let chiplet_accepts_general t chiplet =
+  (spec_of_kind t (kind_of_chiplet t chiplet)).general_tasks
+
+let general_chiplets_per_socket t =
+  List.length
+    (List.filter (chiplet_accepts_general t) (chiplets_of_socket t 0))
+
 let heterogeneous t =
   Array.exists (fun k -> k <> t.chiplet_kinds.(0)) t.chiplet_kinds
 
@@ -291,9 +299,10 @@ let to_lines t =
       let s = spec_of_kind t k in
       if s <> default_kind_specs.(kind_index k) || heterogeneous t then
         add
-          (Printf.sprintf "kind %s speed %s access-mult %s energy-pj %s"
+          (Printf.sprintf "kind %s speed %s access-mult %s energy-pj %s general-tasks %d"
              (kind_name k) (format_float s.speed) (format_float s.access_mult)
-             (format_float s.energy_pj)))
+             (format_float s.energy_pj)
+             (if s.general_tasks then 1 else 0)))
     [ Big; Little; Accel ];
   if heterogeneous t then
     add
@@ -410,7 +419,7 @@ let of_string spec =
             | Some k -> (
                 match
                   parse_pairs ~directive:"kind"
-                    ~allowed:[ "speed"; "access-mult"; "energy-pj" ]
+                    ~allowed:[ "speed"; "access-mult"; "energy-pj"; "general-tasks" ]
                     rest
                 with
                 | Error m -> fail m
@@ -459,6 +468,7 @@ let of_string spec =
                   match key with
                   | "speed" -> s := { !s with speed = v }
                   | "access-mult" -> s := { !s with access_mult = v }
+                  | "general-tasks" -> s := { !s with general_tasks = v <> 0.0 }
                   | _ -> s := { !s with energy_pj = v })
                 pairs;
               kind_specs.(kind_index k) <- !s)

@@ -23,6 +23,12 @@ type kind_spec = {
       (** throughput multiplier vs a big core; scales quantum progress *)
   access_mult : float;  (** memory access latency multiplier *)
   energy_pj : float;  (** energy charged per memory access, picojoules *)
+  general_tasks : bool;
+      (** whether chiplets of this kind accept general (non-task-graph)
+          work.  Big and little cores default to [true]; accelerator
+          tiles default to [false], so placement skips them for morsel /
+          OLAP gangs and only explicit task-graph mappings use them.
+          Config files override with [general-tasks 0/1]. *)
 }
 
 type link = {
@@ -114,6 +120,12 @@ val spec_of_kind : t -> core_kind -> kind_spec
 
 val core_speed : t -> int -> float
 (** Static throughput multiplier of a core (its kind's [speed]). *)
+
+val chiplet_accepts_general : t -> int -> bool
+(** Whether a chiplet's kind accepts general (non-task-graph) work. *)
+
+val general_chiplets_per_socket : t -> int
+(** Count of general-task chiplets on a socket (sockets are uniform). *)
 
 val heterogeneous : t -> bool
 (** True iff not all chiplets share one kind. *)

@@ -38,6 +38,19 @@ let min_valid_spread topo ~n_workers =
 
 let numa_node_of_core topo core = core / Topology.cores_per_socket topo
 
+(* Largest spread_rate a gang may take without general work spilling onto
+   accelerator-only chiplets.  [chiplet_speed_order] sorts general-task
+   chiplets first, so at spread k <= #general every Alg. 2 chiplet index
+   maps to a general chiplet; the cap only relaxes to the full socket when
+   the gang is too wide to fit on general chiplets alone. *)
+let max_general_spread topo ~n_workers =
+  let chiplets = topo.Topology.chiplets_per_socket in
+  let general = Topology.general_chiplets_per_socket topo in
+  if general > 0 && general < chiplets
+     && valid_spread topo ~spread_rate:general ~n_workers
+  then general
+  else chiplets
+
 (* Alg. 2 body, applied to the worker's position within its socket's
    sub-gang.  The published formula (chiplet = id / (cpc/k), slot = id mod
    (cpc/k), with a wrap branch) is only well-defined when k divides cpc;
@@ -48,21 +61,26 @@ let numa_node_of_core topo core = core / Topology.cores_per_socket topo
      id = pass * (k*g) + chiplet * g + (slot mod g),  slot = pass*g + ...
    which coincides with the paper's mapping whenever k | cpc. *)
 (* On a heterogeneous socket, Alg. 2's k-th chiplet is the k-th {e
-   fastest} chiplet: local chiplet indices permuted by descending kind
-   speed (stable, so homogeneous sockets keep the identity order and
-   placements there are unchanged byte-for-byte). *)
+   fastest} chiplet that accepts general tasks: local chiplet indices
+   permuted by (general-tasks, descending kind speed), stable, so
+   homogeneous sockets keep the identity order and placements there are
+   unchanged byte-for-byte.  Accelerator-only chiplets (general_tasks =
+   false) sort last: general gangs only reach them when the gang is too
+   wide to fit on the general chiplets alone. *)
 let chiplet_speed_order topo ~socket =
   let n = topo.Topology.chiplets_per_socket in
   let order = Array.init n (fun i -> i) in
-  let speed local =
-    (Topology.spec_of_kind topo
-       (Topology.kind_of_chiplet topo ((socket * n) + local)))
-      .Topology.speed
+  let spec local =
+    Topology.spec_of_kind topo
+      (Topology.kind_of_chiplet topo ((socket * n) + local))
   in
   Array.stable_sort
     (fun a b ->
-      let sa = speed a and sb = speed b in
-      if sa = sb then compare a b else compare sb sa)
+      let sa = spec a and sb = spec b in
+      if sa.Topology.general_tasks <> sb.Topology.general_tasks then
+        compare sb.Topology.general_tasks sa.Topology.general_tasks
+      else if sa.Topology.speed = sb.Topology.speed then compare a b
+      else compare sb.Topology.speed sa.Topology.speed)
     order;
   order
 

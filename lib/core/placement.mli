@@ -20,9 +20,11 @@ val core_of_worker :
     configuration.
 
     On a heterogeneous topology with [prefer_fast] (the default), the
-    socket's chiplets are visited in descending kind-speed order, so a
-    gang fills big-core chiplets before little/accelerator ones; the
-    order is stable, so homogeneous topologies are unaffected. *)
+    socket's chiplets are visited general-task chiplets first, each band
+    in descending kind-speed order, so a gang fills big-core chiplets
+    before little ones and only reaches accelerator-only chiplets
+    ([general_tasks = false]) when it cannot fit elsewhere; the order is
+    stable, so homogeneous topologies are unaffected. *)
 
 val valid_spread : Topology.t -> spread_rate:int -> n_workers:int -> bool
 (** The Alg. 2 line-2 sanity check. *)
@@ -30,8 +32,20 @@ val valid_spread : Topology.t -> spread_rate:int -> n_workers:int -> bool
 val min_valid_spread : Topology.t -> n_workers:int -> int
 (** Smallest spread_rate that passes the bounds check (>= 1). *)
 
+val max_general_spread : Topology.t -> n_workers:int -> int
+(** Largest spread_rate that keeps a general gang off accelerator-only
+    chiplets ([Topology.kind_spec.general_tasks = false]); equals
+    [chiplets_per_socket] when the gang cannot fit on general chiplets
+    alone (or the machine has none). *)
+
 val numa_node_of_core : Topology.t -> int -> int
 (** Alg. 2 line 13. *)
+
+val chiplet_speed_order : Topology.t -> socket:int -> int array
+(** The socket's local chiplet indices in visit order: general-task
+    chiplets first, each band by descending kind speed, stable by index.
+    Identity on homogeneous sockets.  Exposed as the placement hint
+    other mappers (the task-graph mapper) fall back to. *)
 
 val gang :
   ?prefer_fast:bool ->

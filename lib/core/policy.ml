@@ -132,6 +132,17 @@ let flee_sick_chiplet t sched ~worker ~core =
           | Latency.Same_socket -> 3
           | Latency.Cross_socket -> 4
         in
+        (* accelerator-only chiplets are a last resort for fleeing
+           general work, ranked past any general-task core *)
+        let r =
+          if
+            prefer_fast
+            && not
+                 (Topology.chiplet_accepts_general topo
+                    (Topology.chiplet_of_core topo c))
+          then r + 8
+          else r
+        in
         let s = Topology.core_speed topo c in
         (* equal-distance candidates: prefer the faster kind (strict >, so
            homogeneous machines still pick the lowest-numbered core) *)
@@ -166,8 +177,15 @@ let evaluate t sched ~worker ~now ~elapsed =
   let topo = Machine.topology t.machine in
   let chiplets = topo.Topology.chiplets_per_socket in
   let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
+  (* general work never spreads onto accelerator-only chiplets while the
+     gang fits on the general ones *)
+  let max_spread =
+    if t.config.Config.prefer_big_cores then
+      Placement.max_general_spread topo ~n_workers:t.n_workers
+    else chiplets
+  in
   if rate >= decision.Controller.threshold then begin
-    if st.spread < chiplets then begin
+    if st.spread < max_spread then begin
       st.spread <- st.spread + 1;
       t.s_spreads <- t.s_spreads + 1;
       t.on_spread_change ~worker ~old_spread:(st.spread - 1)
@@ -223,10 +241,15 @@ let centralized_evaluate t sched ~now ~elapsed =
   let topo = Machine.topology machine in
   let chiplets = topo.Topology.chiplets_per_socket in
   let min_spread = Placement.min_valid_spread topo ~n_workers:t.n_workers in
+  let max_spread =
+    if t.config.Config.prefer_big_cores then
+      Placement.max_general_spread topo ~n_workers:t.n_workers
+    else chiplets
+  in
   let old_global = t.states.(0).spread in
   let global =
     if rate >= decision.Controller.threshold then begin
-      if old_global < chiplets then begin
+      if old_global < max_spread then begin
         t.s_spreads <- t.s_spreads + 1;
         old_global + 1
       end

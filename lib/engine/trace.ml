@@ -34,6 +34,15 @@ type event =
       from_shard : int;  (** source shard for relocations, [-1] otherwise *)
       at_ns : float;
     }
+  | Dag_node of {
+      tenant : string;
+      job_id : int;
+      node : int;
+      op : string;
+      chiplet : int;
+      start_ns : float;
+      end_ns : float;
+    }
 
 (* Fixed-capacity ring: when full the oldest event is overwritten, so a
    long serving run keeps the newest window instead of growing without
@@ -137,6 +146,9 @@ let fleet_shed t ~job_id ~tenant ~at_ns =
   push t
     (Fleet { phase = Router_shed; job_id; tenant; shard = -1; from_shard = -1; at_ns })
 
+let dag_node t ~tenant ~job_id ~node ~op ~chiplet ~start_ns ~end_ns =
+  push t (Dag_node { tenant; job_id; node; op; chiplet; start_ns; end_ns })
+
 (* -- Chrome trace-event JSON -------------------------------------------- *)
 
 let escape s =
@@ -227,6 +239,14 @@ let event_json pid = function
       Printf.sprintf
         {|{"name":"%s","cat":"fleet","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g","args":{"phase":"%s","id":%d,"shard":%d,"from":%d}}|}
         name (us at_ns) pid (fleet_phase_name phase) job_id shard from_shard
+  | Dag_node { tenant; job_id; node; op; chiplet; start_ns; end_ns } ->
+      (* node-lifecycle track: one duration row per chiplet, offset past
+         the worker tids so DAG rows group separately in the viewer *)
+      Printf.sprintf
+        {|{"name":"%s#%d n%d %s","cat":"dag","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"tenant":"%s","id":%d,"node":%d,"op":"%s","chiplet":%d}}|}
+        (escape tenant) job_id node (escape op) (us start_ns)
+        (us (Float.max 0.0 (end_ns -. start_ns)))
+        pid (1000 + chiplet) (escape tenant) job_id node (escape op) chiplet
 
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
@@ -295,6 +315,7 @@ let category = function
   | Instant _ -> "marker"
   | Fault _ -> "fault"
   | Fleet _ -> "fleet"
+  | Dag_node _ -> "dag"
 
 let summary t =
   let b = Buffer.create 1024 in

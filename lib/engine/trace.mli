@@ -47,6 +47,15 @@ type event =
       from_shard : int;  (** source shard for relocations, [-1] otherwise *)
       at_ns : float;
     }
+  | Dag_node of {
+      tenant : string;
+      job_id : int;
+      node : int;
+      op : string;
+      chiplet : int;
+      start_ns : float;
+      end_ns : float;
+    }  (** one task-graph node's execution on its mapped chiplet *)
 
 val create : ?capacity:int -> ?pid:int -> ?name:string -> unit -> t
 (** Ring buffer of [capacity] events (default 2^18).  [pid] (default 0)
@@ -96,6 +105,13 @@ val fault : t -> desc:string -> at_ns:float -> unit
 val fleet_route : t -> job_id:int -> tenant:string -> shard:int -> at_ns:float -> unit
 val fleet_relocate : t -> job_id:int -> from_shard:int -> to_shard:int -> at_ns:float -> unit
 val fleet_shed : t -> job_id:int -> tenant:string -> at_ns:float -> unit
+
+val dag_node :
+  t -> tenant:string -> job_id:int -> node:int -> op:string -> chiplet:int ->
+  start_ns:float -> end_ns:float -> unit
+(** Record one task-graph node's execution window on its mapped chiplet
+    (rendered as a duration row per chiplet on the ["dag"] category
+    track). *)
 
 val num_events : t -> int
 (** Events currently retained (at most [capacity]). *)

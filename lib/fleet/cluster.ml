@@ -257,6 +257,7 @@ let run cfg =
                ())
         else None)
   in
+  let router = Router.create cfg.policy in
   let sessions =
     Array.init n (fun s ->
         let inst =
@@ -268,7 +269,14 @@ let run cfg =
             cfg.serve with
             Server.seed = cfg.serve.Server.seed + (7919 * (s + 1));
             trace = shard_traces.(s);
-            on_complete = None;
+            (* every completion feeds the router's per-shard latency EWMA;
+               only the [ewma] policy reads it, so other fleets are
+               unaffected *)
+            on_complete =
+              Some
+                (fun ~tenant:_ ~kind:_ ~submit_ns ~finish_ns ->
+                  Router.observe router ~shard:s
+                    ~service_ns:(finish_ns -. submit_ns));
           }
         in
         Session.create inst scfg)
@@ -283,7 +291,6 @@ let run cfg =
       cfg.faults
   in
 
-  let router = Router.create cfg.policy in
   let views =
     Array.init n (fun s ->
         { Router.shard = s; capacity = 1.0; sick_fraction = 0.0; load_ns = 0.0; depth = 0 })

@@ -1,17 +1,19 @@
-type policy = Round_robin | Least_loaded | Charm_aware
+type policy = Round_robin | Least_loaded | Ewma | Charm_aware
 
 let policy_name = function
   | Round_robin -> "round-robin"
   | Least_loaded -> "least-loaded"
+  | Ewma -> "ewma"
   | Charm_aware -> "charm"
 
 let policy_of_string = function
   | "round-robin" | "rr" -> Some Round_robin
   | "least-loaded" | "ll" -> Some Least_loaded
+  | "ewma" -> Some Ewma
   | "charm" | "charm-aware" -> Some Charm_aware
   | _ -> None
 
-let all_policies = [ Round_robin; Least_loaded; Charm_aware ]
+let all_policies = [ Round_robin; Least_loaded; Ewma; Charm_aware ]
 
 type view = {
   shard : int;
@@ -25,10 +27,26 @@ type t = {
   policy : policy;
   mutable rr : int;
   affinity : (string, int) Hashtbl.t;
+  ewma : (int, float) Hashtbl.t;  (* shard -> smoothed observed latency, ns *)
 }
 
-let create policy = { policy; rr = 0; affinity = Hashtbl.create 16 }
+let create policy =
+  { policy; rr = 0; affinity = Hashtbl.create 16; ewma = Hashtbl.create 16 }
+
 let policy t = t.policy
+let ewma_alpha = 0.2
+
+let observe t ~shard ~service_ns =
+  if service_ns >= 0.0 then
+    let v =
+      match Hashtbl.find_opt t.ewma shard with
+      | None -> service_ns
+      | Some prev -> (ewma_alpha *. service_ns) +. ((1.0 -. ewma_alpha) *. prev)
+    in
+    Hashtbl.replace t.ewma shard v
+
+let observed_latency t ~shard =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.ewma shard)
 
 (* Every policy hard-skips fully-offline shards (capacity 0): even a
    chiplet-blind router sees machine-level liveness, the way a TCP health
@@ -44,6 +62,12 @@ let score t ~tenant v =
   match t.policy with
   | Round_robin -> 0.0 (* unused *)
   | Least_loaded -> v.load_ns
+  | Ewma ->
+      (* expected wait: smoothed observed per-job latency times queue
+         depth.  A throttled shard's completions come back slow, its EWMA
+         rises, and new jobs drift away — no machine introspection needed.
+         Unobserved shards score 0, so the policy explores them first. *)
+      observed_latency t ~shard:v.shard *. (1.0 +. float_of_int v.depth)
   | Charm_aware ->
       let s = v.load_ns /. effective_capacity v in
       (* tenant affinity: a shard already serving this tenant has its
@@ -68,7 +92,7 @@ let choose t ?(exclude = -1) ~tenant ~cost views =
             if eligible ~exclude v then Some v else go (k + 1)
         in
         go 0
-    | Least_loaded | Charm_aware ->
+    | Least_loaded | Ewma | Charm_aware ->
         let best = ref None in
         Array.iter
           (fun v ->

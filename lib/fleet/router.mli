@@ -11,6 +11,10 @@
     - {!Least_loaded}: shard load (backlog + queued service demand), but
       chiplet-blind: a machine limping at 40% capacity with two sick
       chiplets looks identical to a healthy one at equal queue depth.
+    - {!Ewma}: an exponentially-weighted moving average of each shard's
+      observed end-to-end job latencies (fed by {!observe}), scaled by
+      queue depth — a black-box policy that learns which shards are slow
+      from completions alone, without seeing why.
     - {!Charm_aware}: load {e divided by effective capacity}, where
       effective capacity folds in {!Chipsim.Modifiers.online_capacity}
       and the shard's sick-chiplet fraction (from
@@ -18,10 +22,10 @@
       baselines), plus a mild tenant-affinity bonus for cache locality —
       the paper's heterogeneity-awareness lifted to the cluster. *)
 
-type policy = Round_robin | Least_loaded | Charm_aware
+type policy = Round_robin | Least_loaded | Ewma | Charm_aware
 
 val policy_name : policy -> string
-(** ["round-robin"], ["least-loaded"], ["charm"]. *)
+(** ["round-robin"], ["least-loaded"], ["ewma"], ["charm"]. *)
 
 val policy_of_string : string -> policy option
 (** Inverse of {!policy_name}; also accepts ["rr"], ["ll"],
@@ -44,6 +48,15 @@ type t
 
 val create : policy -> t
 val policy : t -> policy
+
+val observe : t -> shard:int -> service_ns:float -> unit
+(** Feed one completed job's observed end-to-end latency (submit to
+    finish, ns) into the shard's EWMA.  Cheap and policy-independent:
+    only {!Ewma} scoring reads the average.  Negative samples are
+    ignored. *)
+
+val observed_latency : t -> shard:int -> float
+(** The shard's current EWMA (0 until first observation). *)
 
 val effective_capacity : view -> float
 (** [max 0.05 (capacity * (1 - 0.75 * sick_fraction))] — the denominator

@@ -7,6 +7,7 @@ type kind =
   | Gups of int
   | Tpch of int
   | Ycsb_batch of int
+  | Dag of Taskgraph.Graph.shape * int
 
 let kind_name = function
   | Bfs -> "bfs"
@@ -14,9 +15,36 @@ let kind_name = function
   | Gups n -> Printf.sprintf "gups:%d" n
   | Tpch q -> Printf.sprintf "tpch:%d" q
   | Ycsb_batch n -> Printf.sprintf "ycsb:%d" n
+  | Dag (shape, layers) ->
+      Printf.sprintf "dag:%s:%d" (Taskgraph.Graph.shape_name shape) layers
 
 let default_gups_updates = 4096
 let default_ycsb_ops = 256
+let default_dag_layers = 6
+let max_dag_layers = 64
+
+(* "dag" | "dag:SHAPE" | "dag:SHAPE:LAYERS" *)
+let parse_dag s =
+  if s = "dag" then Some (Dag (Taskgraph.Graph.Chain, default_dag_layers))
+  else if String.length s > 4 && String.sub s 0 4 = "dag:" then
+    let rest = String.sub s 4 (String.length s - 4) in
+    let shape_s, layers_s =
+      match String.index_opt rest ':' with
+      | None -> (rest, None)
+      | Some i ->
+          ( String.sub rest 0 i,
+            Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    match Taskgraph.Graph.shape_of_name shape_s with
+    | None -> None
+    | Some shape -> (
+        match layers_s with
+        | None -> Some (Dag (shape, default_dag_layers))
+        | Some ls -> (
+            match int_of_string_opt ls with
+            | Some n when n >= 1 && n <= max_dag_layers -> Some (Dag (shape, n))
+            | _ -> None))
+  else None
 
 let kind_of_string s =
   let parse_sized prefix mk default =
@@ -36,13 +64,16 @@ let kind_of_string s =
   | "bfs" -> Some Bfs
   | "pr" | "pagerank" -> Some Pagerank
   | _ -> (
-      match parse_sized "gups" (fun n -> Gups n) default_gups_updates with
+      match parse_dag s with
       | Some k -> Some k
       | None -> (
-          match parse_sized "tpch" (fun q -> Tpch q) 1 with
-          | Some (Tpch q) when q >= 1 && q <= 22 -> Some (Tpch q)
-          | Some _ | None ->
-              parse_sized "ycsb" (fun n -> Ycsb_batch n) default_ycsb_ops))
+          match parse_sized "gups" (fun n -> Gups n) default_gups_updates with
+          | Some k -> Some k
+          | None -> (
+              match parse_sized "tpch" (fun q -> Tpch q) 1 with
+              | Some (Tpch q) when q >= 1 && q <= 22 -> Some (Tpch q)
+              | Some _ | None ->
+                  parse_sized "ycsb" (fun n -> Ycsb_batch n) default_ycsb_ops)))
 
 type data_config = {
   graph_scale : int;
@@ -51,6 +82,7 @@ type data_config = {
   ycsb_records : int;
   gups_table_words : int;
   pagerank_iterations : int;
+  dag_comm_aware : bool;
   seed : int;
 }
 
@@ -62,6 +94,7 @@ let default_data_config =
     ycsb_records = 4096;
     gups_table_words = 1 lsl 14;
     pagerank_iterations = 2;
+    dag_comm_aware = true;
     seed = 7;
   }
 
@@ -118,6 +151,11 @@ let cost_estimate d = function
       let rows = float_of_int (Olap.Tpch_data.total_rows d.tpch) in
       if List.mem q Olap.Tpch_queries.join_heavy then 12.0 *. rows else 8.0 *. rows
   | Ycsb_batch n -> 600.0 *. float_of_int n
+  | Dag (shape, layers) ->
+      (* graph costs vary per job seed; the canonical seed-0 instance is a
+         representative estimate (generation is O(nodes), graphs are tiny) *)
+      Taskgraph.Graph.total_cost_ns
+        (Taskgraph.Graph.generate ~shape ~layers ~seed:0 ())
 
 (* a BFS source must have outgoing edges or the job degenerates to nothing *)
 let pick_source d rng =
@@ -167,6 +205,32 @@ let run_ycsb ctx d rng ops =
   done;
   ops
 
+(* chiplets that actually host a scheduler worker — DAG nodes pinned
+   anywhere else would silently fall back to the spawner's queue *)
+let worker_chiplets ctx =
+  let sched = Sched.Ctx.sched ctx in
+  let topo = Machine.topology (Sched.Ctx.machine ctx) in
+  let hosted =
+    List.filter
+      (fun ch ->
+        List.exists
+          (fun core -> Sched.worker_of_core sched core <> None)
+          (Topology.cores_of_chiplet topo ch))
+      (List.init (Topology.num_chiplets topo) Fun.id)
+  in
+  match hosted with [] -> None | l -> Some (Array.of_list l)
+
+let run_dag ctx d ~seed shape layers =
+  let g = Taskgraph.Graph.generate ~shape ~layers ~seed () in
+  let topo = Machine.topology (Sched.Ctx.machine ctx) in
+  let policy =
+    if d.cfg.dag_comm_aware then Taskgraph.Mapper.Comm_aware
+    else Taskgraph.Mapper.Blind
+  in
+  let m = Taskgraph.Mapper.map ?usable:(worker_chiplets ctx) topo ~policy g in
+  let r = Taskgraph.Exec.run ~job_id:seed ctx m g in
+  r.Taskgraph.Exec.nodes_run
+
 let run ctx d ~seed kind =
   let rng = Engine.Rng.create seed in
   match kind with
@@ -185,3 +249,4 @@ let run ctx d ~seed kind =
       let r = Olap.Tpch_queries.run ctx ~alloc:d.alloc d.tpch q in
       max 1 r.Olap.Tpch_queries.rows_out
   | Ycsb_batch n -> run_ycsb ctx d rng n
+  | Dag (shape, layers) -> run_dag ctx d ~seed shape layers

@@ -13,13 +13,19 @@ type kind =
   | Gups of int  (** that many random read-modify-writes *)
   | Tpch of int  (** one of the 22 TPC-H-shaped queries *)
   | Ycsb_batch of int  (** that many paper-mix transactions *)
+  | Dag of Taskgraph.Graph.shape * int
+      (** one generated task-DAG inference job of that shape with that
+          many layers, mapped per {!data_config.dag_comm_aware} and
+          executed through {!Taskgraph.Exec} *)
 
 val kind_name : kind -> string
-(** ["bfs"], ["pagerank"], ["gups:N"], ["tpch:Q"], ["ycsb:N"]. *)
+(** ["bfs"], ["pagerank"], ["gups:N"], ["tpch:Q"], ["ycsb:N"],
+    ["dag:SHAPE:LAYERS"]. *)
 
 val kind_of_string : string -> kind option
 (** Inverse of {!kind_name}; also accepts the bare ["pr"], ["gups"],
-    ["tpch"], ["ycsb"] with default sizes. *)
+    ["tpch"], ["ycsb"], ["dag"] with default sizes and ["dag:SHAPE"]
+    with the default layer count. *)
 
 type data_config = {
   graph_scale : int;  (** log2 vertices of the shared Kronecker graph *)
@@ -28,6 +34,9 @@ type data_config = {
   ycsb_records : int;
   gups_table_words : int;
   pagerank_iterations : int;
+  dag_comm_aware : bool;
+      (** map task-DAG jobs with the communication-aware mapper (default)
+          instead of the blind round-robin baseline *)
   seed : int;  (** dataset-generation seed *)
 }
 

@@ -37,7 +37,7 @@ let parse_tenant spec =
       err "bad tenant spec %S: want NAME:WEIGHT:KIND+KIND (e.g. gold:2:bfs+tpch:3)"
         spec
 
-let parse_shard_machines ~machines spec =
+let parse_shard_machines ?fallback ~machines spec =
   let names = String.split_on_char ',' spec in
   let rec resolve acc = function
     | [] -> Ok (List.rev acc)
@@ -45,10 +45,23 @@ let parse_shard_machines ~machines spec =
         let n = String.trim n in
         match List.assoc_opt n machines with
         | Some m -> resolve (m :: acc) rest
-        | None ->
-            err "bad --shard-machines list %S: unknown machine %S (want %s)"
-              spec n
-              (String.concat "/" (List.map fst machines)))
+        | None -> (
+            (* not a preset name: let the caller try it as a data-driven
+               machine (a topology-file path), so one fleet can mix
+               preset and custom shards *)
+            match Option.map (fun f -> f n) fallback with
+            | Some (Ok m) -> resolve (m :: acc) rest
+            | Some (Error fe) ->
+                err
+                  "bad --shard-machines list %S: %S is neither a machine \
+                   preset (want %s) nor a topology file (%s)"
+                  spec n
+                  (String.concat "/" (List.map fst machines))
+                  fe
+            | None ->
+                err "bad --shard-machines list %S: unknown machine %S (want %s)"
+                  spec n
+                  (String.concat "/" (List.map fst machines))))
   in
   if spec = "" then err "bad --shard-machines list: empty" else resolve [] names
 

@@ -8,12 +8,20 @@
 val parse_tenant :
   string -> (string * float * (Job.kind * int) list, string) result
 (** Parse a ["name:weight:kind+kind+..."] tenant spec (kind names may
-    themselves contain [':'], e.g. [tpch:3]).  Each kind gets mix
-    weight 1. *)
+    themselves contain [':'], e.g. [tpch:3] or the task-graph class
+    [dag:inception:3] — shape then layer count, both optional:
+    [dag] ≡ [dag:chain:6]).  Each kind gets mix weight 1. *)
 
 val parse_shard_machines :
-  machines:(string * 'a) list -> string -> ('a list, string) result
-(** Parse a comma-separated machine-name list against a name table. *)
+  ?fallback:(string -> ('a, string) result) ->
+  machines:(string * 'a) list ->
+  string ->
+  ('a list, string) result
+(** Parse a comma-separated machine-name list against a name table.
+    Entries not in the table are handed to [fallback] (e.g.
+    [Harness.Systems.custom_machine_of_spec], so a fleet can mix machine
+    presets with topology-file shards); without a fallback, or when it
+    also fails, the error names both rejections. *)
 
 val parse_shard_fault : string -> (int * string, string) result
 (** Parse a ["SHARD:SPEC"] entry; the fault spec itself is parsed later

@@ -1,0 +1,93 @@
+(** Jobs as static task DAGs.
+
+    Each node carries a compute cost and an op class; dense
+    ([conv]/[matmul]) nodes run at full speed on accelerator chiplets
+    while everything else pays an off-profile penalty there, so per-kind
+    effective cost is a real mapping signal.  Each edge carries a
+    communication volume in bytes, charged through the machine's
+    chiplet-link channels when its endpoints are mapped to different
+    chiplets.
+
+    Like {!Chipsim.Topology}, a graph is a value with a tiny config-file
+    format: [of_string (to_string g)] round-trips, [#] starts a comment,
+    directives are one per line or [';']-separated, and parse errors are
+    one line naming the offending directive or field. *)
+
+open Chipsim
+
+type op = Conv | Matmul | Elementwise | Reduce | Embed
+
+val op_name : op -> string
+val op_of_name : string -> op option
+val all_ops : op list
+
+val accel_friendly : op -> bool
+(** [Conv] and [Matmul] — the dense kernels accelerator tiles are for. *)
+
+val op_mult : Topology.core_kind -> op -> float
+(** Compute-cost multiplier of running an op class on a core kind: 1.0
+    everywhere except off-profile ops on [Accel] chiplets, which pay
+    {!off_profile_penalty} — more than the accel kind's default speed
+    advantage, so glue nodes are net slower there than on a big core. *)
+
+val off_profile_penalty : float
+
+type node = { op : op; cost_ns : float }
+type edge = { src : int; dst : int; bytes : int }
+
+type t = private {
+  name : string;
+  nodes : node array;
+  edges : edge array;
+  preds : int array array;  (** incoming edge indices, per node *)
+  succs : int array array;  (** outgoing edge indices, per node *)
+  order : int array;  (** a deterministic topological order of node ids *)
+}
+
+val v : name:string -> nodes:node array -> edges:edge array -> t
+(** Validate and build: positive finite costs, in-range edge endpoints, no
+    self or duplicate edges, and no cycles (Kahn's algorithm, smallest
+    ready id first, so [order] is deterministic).
+    @raise Invalid_argument with a one-line description otherwise. *)
+
+val name : t -> string
+val num_nodes : t -> int
+val num_edges : t -> int
+val total_cost_ns : t -> float
+val total_edge_bytes : t -> int
+
+val scaled_cost_ns : Topology.t -> Topology.core_kind -> node -> float
+(** Effective cost of a node on a chiplet of this kind, in big-core ns:
+    [cost * op_mult kind op / kind speed]. *)
+
+val equal : t -> t -> bool
+
+(** {1 Deterministic generator} *)
+
+type shape = Chain | Inception | Fanout
+
+val shape_name : shape -> string
+val shape_of_name : string -> shape option
+val all_shapes : shape list
+
+val generate : shape:shape -> layers:int -> seed:int -> unit -> t
+(** Seeded DNN-pipeline generator: [Chain] is a linear backbone of dense
+    and glue layers, [Inception] splits each layer into 2-4 parallel
+    dense branches re-joined by a reduce, [Fanout] is a microservice star
+    (front-end, [layers] parallel services, aggregator).  Equal
+    arguments give equal graphs.
+    @raise Invalid_argument if [layers < 1]. *)
+
+(** {1 Config files} *)
+
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val to_string : t -> string
+(** Canonical multi-line rendering; [of_string (to_string t)] yields a
+    graph [equal] to [t]. *)
+
+val to_spec : t -> string
+(** Same directives joined with ["; "] — a single-line embeddable form. *)
+
+val pp : Format.formatter -> t -> unit

@@ -175,6 +175,77 @@ let test_plant_route_offline_trips () =
         true
         (contains msg "fully-offline")
 
+(* -- the EWMA policy ----------------------------------------------------- *)
+
+let fresh_views () =
+  [|
+    { Router.shard = 0; capacity = 1.0; sick_fraction = 0.0; load_ns = 0.0; depth = 0 };
+    { Router.shard = 1; capacity = 1.0; sick_fraction = 0.0; load_ns = 0.0; depth = 0 };
+  |]
+
+let test_ewma_observe_math () =
+  let r = Router.create Router.Ewma in
+  Alcotest.(check (float 0.0)) "zero before any observation" 0.0
+    (Router.observed_latency r ~shard:0);
+  Router.observe r ~shard:0 ~service_ns:1000.0;
+  Alcotest.(check (float 1e-6)) "first sample taken raw" 1000.0
+    (Router.observed_latency r ~shard:0);
+  Router.observe r ~shard:0 ~service_ns:2000.0;
+  Alcotest.(check (float 1e-6)) "then a 0.2 blend" 1200.0
+    (Router.observed_latency r ~shard:0);
+  Router.observe r ~shard:0 ~service_ns:(-5.0);
+  Alcotest.(check (float 1e-6)) "negative samples ignored" 1200.0
+    (Router.observed_latency r ~shard:0);
+  Alcotest.(check (float 0.0)) "other shards unaffected" 0.0
+    (Router.observed_latency r ~shard:1)
+
+let test_ewma_choice () =
+  let r = Router.create Router.Ewma in
+  Alcotest.(check (option int)) "unobserved tie goes to the lowest shard"
+    (Some 0)
+    (Router.choose r ~tenant:"t" ~cost:1000.0 (fresh_views ()));
+  Router.observe r ~shard:0 ~service_ns:5000.0;
+  Alcotest.(check (option int)) "unobserved shard explored first" (Some 1)
+    (Router.choose r ~tenant:"t" ~cost:1000.0 (fresh_views ()));
+  Router.observe r ~shard:1 ~service_ns:1000.0;
+  Alcotest.(check (option int)) "lower EWMA wins at equal depth" (Some 1)
+    (Router.choose r ~tenant:"t" ~cost:1000.0 (fresh_views ()));
+  (* a deep enough queue on the fast shard flips the choice:
+     5000*(1+0) < 1000*(1+10) *)
+  let v = fresh_views () in
+  v.(1).Router.depth <- 10;
+  Alcotest.(check (option int)) "queue depth scales the score" (Some 0)
+    (Router.choose r ~tenant:"t" ~cost:1000.0 v)
+
+let test_ewma_avoids_slow_shard () =
+  (* shard 0 limps at 20% speed from t=0; the EWMA router should learn
+     that from completions alone and steer more jobs to shard 1 than
+     blind round-robin does, with relocation disabled so routing is the
+     only mechanism in play *)
+  let submitted_to_shard_0 policy =
+    let cfg =
+      {
+        (base_config ~jobs:24 ~rate:12_000.0 ~seed:13 ()) with
+        Cluster.policy;
+        faults = [ (0, quarter_speed_everywhere ~at_us:0.0) ];
+        relocation = false;
+      }
+    in
+    let res = Cluster.run cfg in
+    let sr =
+      List.find
+        (fun (sr : Cluster.shard_result) -> sr.Cluster.shard = 0)
+        res.Cluster.shard_results
+    in
+    sum_tenants (fun tr -> tr.Server.submitted) sr
+  in
+  let rr = submitted_to_shard_0 Router.Round_robin in
+  let ewma = submitted_to_shard_0 Router.Ewma in
+  Alcotest.(check bool)
+    (Printf.sprintf "ewma sends fewer jobs (%d) to the slow shard than \
+                     round-robin (%d)" ewma rr)
+    true (ewma < rr)
+
 (* -- merged observability ----------------------------------------------- *)
 
 let test_merged_registry_counters () =
@@ -209,6 +280,10 @@ let () =
             test_plant_drop_relocated_trips;
           Alcotest.test_case "planted route-offline trips" `Quick
             test_plant_route_offline_trips;
+          Alcotest.test_case "ewma observe math" `Quick test_ewma_observe_math;
+          Alcotest.test_case "ewma choice" `Quick test_ewma_choice;
+          Alcotest.test_case "ewma avoids slow shard" `Quick
+            test_ewma_avoids_slow_shard;
           Alcotest.test_case "merged registry counters" `Quick
             test_merged_registry_counters;
         ] );

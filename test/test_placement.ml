@@ -96,10 +96,12 @@ let test_prefer_big_cores () =
   (match Placement.gang topo ~spread_rate:2 ~n_workers:4 with
   | None -> Alcotest.fail "valid gang expected"
   | Some cores ->
-      (* speed order: accel chiplet 1 (2.5), big chiplet 2 (1.0), then the
-         littles 0 and 3 (0.6, stable by index); spread 2 interleaves the
-         gang across the two fastest chiplets *)
-      Alcotest.(check (array int)) "fast chiplets first" [| 2; 4; 3; 5 |] cores);
+      (* general-task chiplets first: big chiplet 2 (1.0), littles 0 and 3
+         (0.6, stable by index), and the accel chiplet 1 (general-tasks 0)
+         last; spread 2 interleaves the gang across the two fastest
+         general chiplets *)
+      Alcotest.(check (array int)) "fast general chiplets first"
+        [| 4; 0; 5; 1 |] cores);
   (match Placement.gang ~prefer_fast:false topo ~spread_rate:2 ~n_workers:4 with
   | None -> Alcotest.fail "valid gang expected"
   | Some cores ->
