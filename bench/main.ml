@@ -1,11 +1,12 @@
 (* Bench driver: regenerates every table and figure of the paper's
    evaluation.  Run with no arguments for the full suite, or pass
    experiment names (fig1 fig3 fig4 fig5 fig7 tab1 fig8 fig9 tab2 fig10
-   fig11 fig12 fig13 fig14 ablation micro serve fault fleet taskgraph core)
-   to run a subset.  [--json FILE] additionally writes machine-readable
-   result rows for experiments that emit them (currently: fleet, taskgraph
-   and core, whose committed baselines BENCH_fleet.json /
-   BENCH_taskgraph.json / BENCH_core.json CI diffs against). *)
+   fig11 fig12 fig13 fig14 ablation micro serve fault fleet taskgraph power
+   core) to run a subset.  [--json FILE] additionally writes
+   machine-readable result rows for experiments that emit them (currently:
+   fleet, taskgraph, power and core, whose committed baselines
+   BENCH_fleet.json / BENCH_taskgraph.json / BENCH_power.json /
+   BENCH_core.json CI diffs against). *)
 
 let experiments =
   [
@@ -29,6 +30,7 @@ let experiments =
     ("fault", Fault.run);
     ("fleet", Fleet_bench.run);
     ("taskgraph", Taskgraph_bench.run);
+    ("power", Power_bench.run);
     ("core", Core_bench.run);
   ]
 

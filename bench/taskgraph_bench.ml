@@ -57,6 +57,7 @@ let config ~comm_aware ~rate =
       process = Serving.Arrivals.Open_loop { rate_per_s = rate };
       jobs = jobs_per_tenant;
       mix;
+      replicas = 1;
     }
   in
   {

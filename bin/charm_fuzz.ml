@@ -19,7 +19,7 @@
 
 open Cmdliner
 
-let plants = [ "skip-ready-clamp" ]
+let plants = [ "skip-ready-clamp"; "vote-skip" ]
 
 let main seeds start_seed smoke plant expect_violation max_repro_faults out =
   (match plant with
@@ -106,8 +106,11 @@ let plant_arg =
         ~doc:
           "Deliberately plant a known bug before fuzzing (sets \
            CHARM_CHECK_PLANT). Known kinds: skip-ready-clamp (the scheduler \
-           skips the ready-at causality clamp). Used to prove the \
-           invariants catch real violations.")
+           skips the ready-at causality clamp) and vote-skip (the replica \
+           voter returns replica 0's token unchecked — needs scenarios \
+           with 3-replica tenants over >= 3 chiplets to trip, so give it \
+           plenty of seeds; CI uses a deterministic charm_serve repro \
+           instead). Used to prove the invariants catch real violations.")
 
 let expect_arg =
   Arg.(

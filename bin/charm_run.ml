@@ -166,7 +166,7 @@ let load_fault_spec spec =
   else spec
 
 let main sys machine topology_spec workers cache_scale workload graph_scale
-    query seed trace_file fault_spec check =
+    query seed energy energy_weight power_cap trace_file fault_spec check =
   (* --topology overrides -m with a data-driven machine *)
   let machine =
     match topology_spec with
@@ -178,8 +178,28 @@ let main sys machine topology_spec workers cache_scale workload graph_scale
             Printf.eprintf "charm_run: bad --topology spec: %s\n" msg;
             exit 2)
   in
+  if not (Float.is_finite energy_weight && energy_weight >= 0.0) then begin
+    Printf.eprintf "charm_run: --energy-weight must be finite and >= 0\n";
+    exit 2
+  end;
+  if not (Float.is_finite power_cap && power_cap >= 0.0) then begin
+    Printf.eprintf "charm_run: --power-cap must be finite and >= 0\n";
+    exit 2
+  end;
+  let charm_config =
+    if energy_weight > 0.0 || power_cap > 0.0 then
+      Some
+        {
+          Charm.Config.default with
+          Charm.Config.energy_weight;
+          power_cap_mw = power_cap;
+        }
+    else None
+  in
   let inst =
-    match Sys_.make ~cache_scale sys machine ~n_workers:workers () with
+    match
+      Sys_.make ?charm_config ~cache_scale sys machine ~n_workers:workers ()
+    with
     | inst -> inst
     | exception Invalid_argument msg ->
         (* rejected configuration (too many workers, inverted cache scale,
@@ -187,6 +207,8 @@ let main sys machine topology_spec workers cache_scale workload graph_scale
         Printf.eprintf "charm_run: %s\n" msg;
         exit 2
   in
+  if energy || energy_weight > 0.0 || power_cap > 0.0 then
+    Engine.Sched.set_energy inst.Sys_.env.Workloads.Exec_env.sched true;
   if check then
     Engine.Sched.set_check inst.Sys_.env.Workloads.Exec_env.sched true;
   (match fault_spec with
@@ -278,6 +300,32 @@ let seed_arg =
     & info [ "seed" ]
         ~doc:"Seed for all input generators (graph, tables, access streams).")
 
+let energy_arg =
+  Arg.(
+    value & flag
+    & info [ "energy" ]
+        ~doc:
+          "Turn per-quantum compute-energy accounting on (memory energy is \
+           always metered); the report's energy line gains the compute \
+           term. Virtual time is unaffected.")
+
+let energy_weight_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "energy-weight" ] ~docv:"W"
+        ~doc:
+          "EDP-aware placement weight for CHARM's policy (see charm_serve). \
+           Implies --energy. 0 disables.")
+
+let power_cap_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "power-cap" ] ~docv:"MW"
+        ~doc:
+          "Machine power cap in simulated milliwatts (1 mW = 1 pJ/ns), \
+           enforced by CHARM's controller via DVFS shedding of the hottest \
+           chiplet. Implies --energy. 0 disables.")
+
 let trace_arg =
   Arg.(
     value
@@ -320,6 +368,7 @@ let cmd =
     Term.(
       const main $ sys_arg $ machine_arg $ topology_arg $ workers_arg
       $ cache_scale_arg $ workload_arg $ graph_scale_arg $ query_arg
-      $ seed_arg $ trace_arg $ faults_arg $ check_arg)
+      $ seed_arg $ energy_arg $ energy_weight_arg $ power_cap_arg
+      $ trace_arg $ faults_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

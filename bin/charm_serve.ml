@@ -135,7 +135,8 @@ let run_fleet ~n_shards ~sys ~machine ~shard_machines ~workers ~cache_scale
 
 let main sys machine topology_spec workers cache_scale rate jobs seed
     max_inflight queue_bound slo_factor closed_loop think_us tenant_specs
-    graph_scale dag_mapper trace_file fault_spec check fleet router epoch_us
+    graph_scale dag_mapper energy energy_weight power_cap replicate_specs
+    trace_file fault_spec check fleet router epoch_us
     shard_machines shard_faults diurnal diurnal_period_us no_relocation plant =
   (* --topology overrides -m with a data-driven machine (file or inline
      spec); in fleet mode it becomes the default machine of every shard *)
@@ -164,11 +165,39 @@ let main sys machine topology_spec workers cache_scale rate jobs seed
         Serve.Arrivals.Closed_loop { clients; think_ns = think_us *. 1e3 }
     | None -> Serve.Arrivals.Open_loop { rate_per_s = rate }
   in
+  if not (Float.is_finite energy_weight && energy_weight >= 0.0) then begin
+    Printf.eprintf "charm_serve: --energy-weight must be finite and >= 0\n";
+    exit 2
+  end;
+  if not (Float.is_finite power_cap && power_cap >= 0.0) then begin
+    Printf.eprintf "charm_serve: --power-cap must be finite and >= 0\n";
+    exit 2
+  end;
   let tenants =
     List.map
       (fun (name, weight, mix) ->
-        { Serve.Server.name; weight; slo_factor; process; jobs; mix })
+        { Serve.Server.name; weight; slo_factor; process; jobs; mix; replicas = 1 })
       mixes
+  in
+  (* --replicate NAME:K marks configured tenants for redundant execution *)
+  let tenants =
+    List.fold_left
+      (fun tenants (rname, k) ->
+        if not (List.exists (fun t -> t.Serve.Server.name = rname) tenants)
+        then begin
+          Printf.eprintf "charm_serve: --replicate %s:%d names no tenant (have %s)\n"
+            rname k
+            (String.concat "/"
+               (List.map (fun t -> t.Serve.Server.name) tenants));
+          exit 2
+        end;
+        List.map
+          (fun t ->
+            if t.Serve.Server.name = rname then
+              { t with Serve.Server.replicas = k }
+            else t)
+          tenants)
+      tenants replicate_specs
   in
   let trace = Option.map (fun _ -> Engine.Trace.create ()) trace_file in
   let cfg =
@@ -193,13 +222,36 @@ let main sys machine topology_spec workers cache_scale rate jobs seed
       check;
     }
   in
-  if fleet > 0 then
+  if fleet > 0 then begin
+    if energy || energy_weight > 0.0 || power_cap > 0.0 then begin
+      Printf.eprintf
+        "charm_serve: --energy/--energy-weight/--power-cap are \
+         single-machine knobs (shards build their own runtimes)\n";
+      exit 2
+    end;
     run_fleet ~n_shards:fleet ~sys ~machine ~shard_machines ~workers
       ~cache_scale ~policy:router ~epoch_us ~diurnal ~diurnal_period_us
       ~no_relocation ~plant ~shard_faults ~fault_spec ~trace_file ~cfg
+  end
   else
   match
-    let inst = Sys_.make ~cache_scale sys machine ~n_workers:workers () in
+    let charm_config =
+      if energy_weight > 0.0 || power_cap > 0.0 then
+        Some
+          {
+            Charm.Config.default with
+            Charm.Config.energy_weight;
+            power_cap_mw = power_cap;
+          }
+      else None
+    in
+    let inst =
+      Sys_.make ?charm_config ~cache_scale sys machine ~n_workers:workers ()
+    in
+    (* CHARM's runtime flips the meter on when a cap/weight is set; bare
+       --energy (or a non-CHARM system) turns accounting on directly *)
+    if energy || energy_weight > 0.0 || power_cap > 0.0 then
+      Engine.Sched.set_energy inst.Sys_.env.Workloads.Exec_env.sched true;
     (match fault_spec with
     | Some spec -> (
         let topo = Chipsim.Machine.topology inst.Sys_.machine in
@@ -304,6 +356,53 @@ let dag_mapper_arg =
            clusters by kind-weighted load) or $(b,blind) (round-robin \
            baseline).")
 
+let energy_arg =
+  Arg.(
+    value & flag
+    & info [ "energy" ]
+        ~doc:
+          "Turn per-quantum compute-energy accounting on (memory energy is \
+           always metered). The report gains machine and per-tenant energy \
+           totals; virtual time is unaffected, so latencies match an \
+           accounting-off run exactly.")
+
+let energy_weight_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "energy-weight" ] ~docv:"W"
+        ~doc:
+          "EDP-aware placement weight for CHARM's policy: flee-migration \
+           scoring divides each chiplet's speed by (1 + $(docv) x the \
+           kind's energy density), steering hot tenants toward efficient \
+           silicon. Implies --energy. 0 disables.")
+
+let power_cap_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "power-cap" ] ~docv:"MW"
+        ~doc:
+          "Machine power cap in simulated milliwatts (1 mW = 1 pJ/ns). \
+           CHARM's controller watches a sliding-window power estimate and \
+           sheds the hottest chiplet's frequency (DVFS actuator) when the \
+           cap is exceeded, releasing throttles once comfortably below. \
+           Implies --energy. 0 disables.")
+
+let replicate_conv =
+  Arg.conv
+    ( (fun spec -> msg_of_result (Serve.Spec.parse_replication spec)),
+      fun ppf (n, k) -> Format.fprintf ppf "%s:%d" n k )
+
+let replicate_arg =
+  Arg.(
+    value
+    & opt_all replicate_conv []
+    & info [ "replicate" ] ~docv:"NAME:K"
+        ~doc:
+          "Run the named tenant's jobs $(b,K) times each on distinct \
+           chiplets and vote on the result tokens; injected corruption \
+           faults are masked and counted as divergences in the report. \
+           Repeatable, one entry per tenant.")
+
 let trace_arg =
   Arg.(
     value
@@ -325,7 +424,8 @@ let faults_arg =
            a spec file. Entries are ';'- or newline-separated \
            $(i,TIME_US:KIND:ARGS) — core-off/core-on:CORE, dvfs:CORE:SPEED, \
            l3-ways:CHIPLET:WAYS, link:CHIPLET:MULT, xsocket:MULT, \
-           membw:NODE:FACTOR — plus rand:SEED:N:HORIZON_US for seeded \
+           membw:NODE:FACTOR, corrupt:SEED (poison one replicated job's \
+           result token) — plus rand:SEED:N:HORIZON_US for seeded \
            random events. Same seed and spec give a byte-identical report.")
 
 let check_arg =
@@ -450,7 +550,8 @@ let cmd =
       $ cache_scale_arg
       $ rate_arg $ jobs_arg $ seed_arg $ inflight_arg $ queue_bound_arg
       $ slo_arg $ closed_loop_arg $ think_arg $ tenants_arg $ graph_scale_arg
-      $ dag_mapper_arg
+      $ dag_mapper_arg $ energy_arg $ energy_weight_arg $ power_cap_arg
+      $ replicate_arg
       $ trace_arg $ faults_arg $ check_arg $ fleet_arg $ router_arg
       $ epoch_us_arg
       $ Term.(

@@ -57,6 +57,22 @@ let catalog =
       "per DAG job, the bytes charged through chiplet links equal exactly \
        the bytes on edges the mapping cuts — every cut edge transfers \
        once, no cut edge is skipped, no intra-chiplet edge pays" );
+    ( "serve.energy-conservation",
+      "per-chiplet energy sums equal the machine's combined (memory + \
+       compute) meter, and in serving reports the per-tenant attributed \
+       energy plus the overhead residual equals the machine's energy \
+       growth to 1e-6 relative" );
+    ( "charm.power-cap-respected",
+      "the power-cap controller never observes a windowed power sample \
+       above the cap without having shed at least one chiplet's frequency \
+       in response (overcap-unshed audit counter stays 0), shed levels \
+       stay within [floor, 1], and a capped run that peaked above the cap \
+       records at least one shed" );
+    ( "serve.replica-agreement",
+      "a replica group's tokens are identical absent an injected \
+       corruption, and the voted result always equals the honest \
+       plurality recomputation (catches a voter that returns the first \
+       replica unchecked)" );
     ( "fleet.no-offline-placement",
       "the router never places a job — fresh or relocated — onto a \
        fully-offline shard (online capacity 0); when every shard is \

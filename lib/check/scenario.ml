@@ -9,6 +9,7 @@ type tenant = {
   tname : string;
   tweight : float;
   tkinds : Serving.Job.kind list;
+  treplicas : int;
 }
 
 type serve_params = {
@@ -17,6 +18,8 @@ type serve_params = {
   max_inflight : int;
   queue_bound : int;
   serve_graph_scale : int;
+  senergy_weight : float;  (** CHARM EDP-aware placement weight (0 = off) *)
+  spower_cap_mw : float;  (** machine power cap in simulated mW (0 = off) *)
   tenants : tenant list;
 }
 
@@ -67,7 +70,8 @@ let gen_tenant i =
   let* tweight = oneofl [ 1.0; 2.0; 4.0 ] in
   let* nkinds = int_range 1 3 in
   let* tkinds = list_repeat nkinds (oneofl serve_kind_pool) in
-  return { tname = List.nth tenant_names i; tweight; tkinds }
+  let* treplicas = frequencyl [ (3, 1); (1, 2); (1, 3) ] in
+  return { tname = List.nth tenant_names i; tweight; tkinds; treplicas }
 
 let gen_serve_params mode =
   let open Gen in
@@ -77,6 +81,8 @@ let gen_serve_params mode =
   let* max_inflight = int_range 1 4 in
   let* queue_bound = int_range 1 8 in
   let* serve_graph_scale = int_range 5 (min 8 max_gs) in
+  let* senergy_weight = oneofl [ 0.0; 0.0; 0.5; 2.0 ] in
+  let* spower_cap_mw = oneofl [ 0.0; 0.0; 2.0; 10.0 ] in
   let* ntenants = int_range 1 (match mode with Smoke -> 2 | Deep -> 3) in
   let* tenants = flatten_l (List.init ntenants gen_tenant) in
   return
@@ -86,6 +92,8 @@ let gen_serve_params mode =
       max_inflight;
       queue_bound;
       serve_graph_scale;
+      senergy_weight;
+      spower_cap_mw;
       tenants;
     }
 
@@ -102,6 +110,10 @@ let gen_kind mode ~machine ~cache_scale =
       return (Serve p)
   | `Fleet ->
       let* fserve = gen_serve_params mode in
+      (* cluster shards build their own runtimes; the energy/cap knobs
+         only reach single-machine serving, so zero them here to keep
+         the repro line honest *)
+      let fserve = { fserve with senergy_weight = 0.0; spower_cap_mw = 0.0 } in
       let* shards = int_range 2 (match mode with Smoke -> 3 | Deep -> 4) in
       let* fpolicy = oneofl Fleet.Router.all_policies in
       let* fepoch_us = oneofl [ 100.0; 250.0; 500.0 ] in
@@ -219,6 +231,25 @@ let gen ~mode ~seed =
       let horizon_us = match mode with Smoke -> 2000.0 | Deep -> 20_000.0 in
       Schedule.random ~topo ~seed:fault_seed ~n:fault_n ~horizon_us
   in
+  (* corruption events live outside [Schedule.random]'s pool (adding them
+     there would reshuffle every existing fuzz seed); armed seeds that no
+     replica ever consumes are harmless *)
+  let* n_corrupt =
+    match kind with
+    | Fleet _ -> return 0
+    | Batch _ | Serve _ -> frequencyl [ (4, 0); (2, 1); (1, 3) ]
+  in
+  (* multiples of 6 make the victim replica index 0 for any group size
+     in {1,2,3,6}, which is what the vote-skip plant needs to trip *)
+  let* corrupt_seeds =
+    list_repeat n_corrupt (map (fun s -> 6 * s) (int_range 0 1_000_000))
+  in
+  let faults =
+    List.map
+      (fun s -> { Schedule.at_ns = 0.0; kind = Schedule.Corruption { seed = s } })
+      corrupt_seeds
+    @ faults
+  in
   return { seed; sys; machine; cache_scale; workers; faults; kind }
 
 let generate ~mode ~seed =
@@ -300,6 +331,7 @@ let server_config_of_params t (p : serve_params) ~trace =
           process = Serving.Arrivals.Open_loop { rate_per_s = p.rate_per_s };
           jobs = p.jobs;
           mix = List.map (fun k -> (k, 1)) te.tkinds;
+          replicas = te.treplicas;
         })
       p.tenants
   in
@@ -359,10 +391,26 @@ let run_once t =
   match t.kind with
   | Fleet f -> run_fleet t f
   | Batch _ | Serve _ ->
+  let charm_config =
+    match t.kind with
+    | Serve p when p.senergy_weight > 0.0 || p.spower_cap_mw > 0.0 ->
+        Some
+          {
+            Charm.Config.default with
+            Charm.Config.energy_weight = p.senergy_weight;
+            power_cap_mw = p.spower_cap_mw;
+          }
+    | _ -> None
+  in
   let inst =
-    Systems.make ~cache_scale:t.cache_scale t.sys t.machine
+    Systems.make ?charm_config ~cache_scale:t.cache_scale t.sys t.machine
       ~n_workers:t.workers ()
   in
+  (* non-CHARM systems have no runtime to flip the meter on *)
+  (match t.kind with
+  | Serve p when p.senergy_weight > 0.0 || p.spower_cap_mw > 0.0 ->
+      Engine.Sched.set_energy (sched inst) true
+  | _ -> ());
   let tr = Engine.Trace.create () in
   (match t.kind with
   | Fleet _ -> assert false
@@ -533,7 +581,7 @@ let sanitize_faults ~topo faults =
       | Schedule.Dvfs { core; _ } -> core < cores
       | Schedule.L3_ways { chiplet; _ } | Schedule.Link { chiplet; _ } ->
           chiplet < chiplets
-      | Schedule.Xsocket _ -> true
+      | Schedule.Xsocket _ | Schedule.Corruption _ -> true
       | Schedule.Membw { node; _ } -> node < nodes)
     faults
 
@@ -550,6 +598,14 @@ let shrink_serve (p : serve_params) =
   if p.queue_bound > 1 then add { p with queue_bound = 1 };
   if p.serve_graph_scale > 5 then
     add { p with serve_graph_scale = p.serve_graph_scale - 1 };
+  if p.senergy_weight > 0.0 then add { p with senergy_weight = 0.0 };
+  if p.spower_cap_mw > 0.0 then add { p with spower_cap_mw = 0.0 };
+  if List.exists (fun te -> te.treplicas > 1) p.tenants then
+    add
+      {
+        p with
+        tenants = List.map (fun te -> { te with treplicas = 1 }) p.tenants;
+      };
   List.rev !cands
 
 let shrink t =
@@ -688,12 +744,30 @@ let serve_frags t (p : serve_params) =
              (String.concat "+" (List.map Serving.Job.kind_name te.tkinds)))
          p.tenants)
   in
+  let replica_frags =
+    String.concat ""
+      (List.filter_map
+         (fun te ->
+           if te.treplicas > 1 then
+             Some (Printf.sprintf " --replicate %s:%d" te.tname te.treplicas)
+           else None)
+         p.tenants)
+  in
+  let energy_frags =
+    (if p.senergy_weight > 0.0 then
+       Printf.sprintf " --energy-weight %g" p.senergy_weight
+     else "")
+    ^
+    if p.spower_cap_mw > 0.0 then
+      Printf.sprintf " --power-cap %g" p.spower_cap_mw
+    else ""
+  in
   Printf.sprintf
     "-s %s %s -n %d --cache-scale %d --rate %g --jobs %d --seed %d \
-     --max-inflight %d --queue-bound %d --graph-scale %d%s"
+     --max-inflight %d --queue-bound %d --graph-scale %d%s%s%s"
     (sys_cli t.sys) (machine_frag t.machine) t.workers t.cache_scale
     p.rate_per_s p.jobs t.seed p.max_inflight p.queue_bound
-    p.serve_graph_scale tenant_frags
+    p.serve_graph_scale tenant_frags replica_frags energy_frags
 
 let to_repro t =
   match t.kind with
@@ -731,8 +805,17 @@ let describe t =
     | Batch { workload; graph_scale } ->
         Printf.sprintf "batch %s scale=%d" (workload_name workload) graph_scale
     | Serve p ->
-        Printf.sprintf "serve %d-tenant jobs=%d rate=%g"
+        Printf.sprintf "serve %d-tenant jobs=%d rate=%g%s%s%s"
           (List.length p.tenants) p.jobs p.rate_per_s
+          (if p.spower_cap_mw > 0.0 then
+             Printf.sprintf " cap=%gmW" p.spower_cap_mw
+           else "")
+          (if p.senergy_weight > 0.0 then
+             Printf.sprintf " edp=%g" p.senergy_weight
+           else "")
+          (if List.exists (fun te -> te.treplicas > 1) p.tenants then
+             " replicated"
+           else "")
     | Fleet f ->
         Printf.sprintf "fleet %dx %s jobs=%d%s%s" f.shards
           (Fleet.Router.policy_name f.fpolicy)

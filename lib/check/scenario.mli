@@ -16,6 +16,7 @@ type tenant = {
   tname : string;
   tweight : float;
   tkinds : Serving.Job.kind list;
+  treplicas : int;  (** replicated-execution degree (1 = none) *)
 }
 
 type serve_params = {
@@ -24,6 +25,12 @@ type serve_params = {
   max_inflight : int;
   queue_bound : int;
   serve_graph_scale : int;
+  senergy_weight : float;
+      (** CHARM's EDP-aware placement weight; > 0 also turns the
+          per-quantum compute-energy meter on *)
+  spower_cap_mw : float;
+      (** machine power cap in simulated mW (pJ/ns); > 0 arms the
+          {!Charm.Power_cap} controller under CHARM systems *)
   tenants : tenant list;
 }
 

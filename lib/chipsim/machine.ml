@@ -42,6 +42,14 @@ type t = {
   kind_energy_pj : float array;
       (* per-core energy charged per access, from the core's kind *)
   energy_pj : float array;  (* per-core accumulated access energy *)
+  kind_compute_pw : float array;
+      (* per-core compute power density in pJ per virtual ns at nominal
+         DVFS: a faster kind retires more work per ns and burns
+         proportionally more, so density = kind energy_pj x kind speed *)
+  compute_pj : float array;
+      (* per-core accumulated per-quantum compute energy — kept separate
+         from [energy_pj] so the PR-8 access-energy figures stay
+         bit-identical when per-quantum charging is off *)
   link_lat_mult : float array;
       (* per-chiplet static I/O-die latency multiplier from the topology's
          link table; composes with the dynamic fault multiplier *)
@@ -130,6 +138,13 @@ let create ?(profile = Latency.default_profile) topo =
           (Topology.spec_of_kind topo (Topology.kind_of_core topo c))
             .Topology.energy_pj);
     energy_pj = Array.make cores 0.0;
+    kind_compute_pw =
+      Array.init cores (fun c ->
+          let spec =
+            Topology.spec_of_kind topo (Topology.kind_of_core topo c)
+          in
+          spec.Topology.energy_pj *. spec.Topology.speed);
+    compute_pj = Array.make cores 0.0;
     link_lat_mult =
       Array.init chiplets (fun ch -> topo.Topology.links.(ch).Topology.lat_mult);
     accesses = 0;
@@ -423,8 +438,36 @@ let flush_caches t =
 let mem_ns t ~core = t.mem_ns.(core)
 let energy_pj t ~core = t.energy_pj.(core)
 
+(* memory-access energy only — the historical PR-8 meter; compute energy
+   deliberately lands in [compute_pj] so this total is bit-identical
+   whether or not per-quantum charging is enabled *)
 let total_energy_pj t =
   Array.fold_left ( +. ) 0.0 t.energy_pj
+
+(* Per-quantum compute energy.  [dt_ns] is virtual time retired by the
+   core during the quantum; the DVFS factor enters quadratically, so with
+   power = energy/time the core's power scales ~cubically with frequency —
+   which is why shedding frequency is an effective power-cap actuator.
+   Energy accounting never touches virtual time. *)
+let charge_quantum t ~core ~dt_ns ~dvfs =
+  Array.unsafe_set t.compute_pj core
+    (Array.unsafe_get t.compute_pj core
+    +. (dt_ns *. Array.unsafe_get t.kind_compute_pw core *. dvfs *. dvfs))
+
+let compute_energy_pj t ~core = t.compute_pj.(core)
+let total_compute_energy_pj t = Array.fold_left ( +. ) 0.0 t.compute_pj
+let combined_energy_pj t = total_energy_pj t +. total_compute_energy_pj t
+
+let chiplet_energy_pj t ~chiplet =
+  if chiplet < 0 || chiplet >= t.nchiplets then
+    invalid_arg "Machine.chiplet_energy_pj: chiplet out of range";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun core ch ->
+      if ch = chiplet then
+        acc := !acc +. t.energy_pj.(core) +. t.compute_pj.(core))
+    t.core_chiplet;
+  !acc
 
 let accesses t = t.accesses
 
@@ -460,7 +503,12 @@ let check_invariants t =
     (fun core e ->
       if not (Float.is_finite e) || e < 0.0 then
         Invariant.fail "machine: core %d energy meter is %g" core e)
-    t.energy_pj
+    t.energy_pj;
+  Array.iteri
+    (fun core e ->
+      if not (Float.is_finite e) || e < 0.0 then
+        Invariant.fail "machine: core %d compute-energy meter is %g" core e)
+    t.compute_pj
 
 (* Adds the O(nodes * slots) memory-channel ring scans — end-of-run /
    fuzzer verification. *)
@@ -484,7 +532,18 @@ let check_invariants_full t =
     Invariant.fail
       "machine: transfer ledger %d bytes (x2 link legs) exceeds the %d bytes \
        the links ever served"
-      t.xfer_bytes !link_total
+      t.xfer_bytes !link_total;
+  (* energy conservation: the per-chiplet view is a re-partition of the
+     per-core meters, so both sums must agree (to float re-association) *)
+  let per_chiplet = ref 0.0 in
+  for ch = 0 to t.nchiplets - 1 do
+    per_chiplet := !per_chiplet +. chiplet_energy_pj t ~chiplet:ch
+  done;
+  let total = combined_energy_pj t in
+  if Float.abs (!per_chiplet -. total) > 1e-6 *. Float.max 1.0 total then
+    Invariant.fail
+      "machine: per-chiplet energy sums to %g pJ but the machine total is %g pJ"
+      !per_chiplet total
 
 let reset t =
   flush_caches t;
@@ -492,5 +551,6 @@ let reset t =
   Pmu.reset t.pmu;
   Array.fill t.mem_ns 0 (Array.length t.mem_ns) 0.0;
   Array.fill t.energy_pj 0 (Array.length t.energy_pj) 0.0;
+  Array.fill t.compute_pj 0 (Array.length t.compute_pj) 0.0;
   t.accesses <- 0;
   t.xfer_bytes <- 0

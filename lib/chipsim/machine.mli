@@ -107,7 +107,36 @@ val energy_pj : t -> core:int -> float
     {!Topology.kind_spec}).  Zeroed by {!reset}. *)
 
 val total_energy_pj : t -> float
-(** Sum of {!energy_pj} over all cores. *)
+(** Sum of {!energy_pj} over all cores — {e memory-access energy only}.
+    Per-quantum compute energy deliberately accumulates in a separate
+    meter ({!compute_energy_pj}), so this total — and every figure built
+    on it before compute charging existed — is bit-identical whether or
+    not [--energy] is on. *)
+
+val charge_quantum : t -> core:int -> dt_ns:float -> dvfs:float -> unit
+(** Charge [dt_ns] virtual ns of compute on [core] to its compute-energy
+    meter: [dt_ns x kind_energy_pj x kind_speed x dvfs^2] pJ.  The
+    quadratic DVFS term makes power (energy over time) scale roughly
+    cubically with frequency, so shedding frequency is an effective
+    power-cap actuator.  Never touches virtual time; the scheduler calls
+    this at quantum end only when energy accounting is enabled. *)
+
+val compute_energy_pj : t -> core:int -> float
+(** Accumulated per-quantum compute energy charged to this core, in
+    picojoules.  Zeroed by {!reset}. *)
+
+val total_compute_energy_pj : t -> float
+(** Sum of {!compute_energy_pj} over all cores. *)
+
+val combined_energy_pj : t -> float
+(** {!total_energy_pj} + {!total_compute_energy_pj}: the machine's whole
+    energy story, what power estimates and per-tenant attribution use. *)
+
+val chiplet_energy_pj : t -> chiplet:int -> float
+(** Combined (access + compute) energy accumulated by the chiplet's
+    cores, in picojoules — the per-chiplet signal the power-cap
+    controller differentiates into a sliding-window power estimate.
+    @raise Invalid_argument on an out-of-range chiplet. *)
 
 val accesses : t -> int
 (** Total simulated accesses ({!access_line} calls) since creation or

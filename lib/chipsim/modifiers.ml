@@ -6,6 +6,9 @@ type t = {
   core_online : bool array;
   link_mult : float array;  (* per chiplet, I/O-die link latency multiplier *)
   mutable xsocket_mult : float;
+  mutable corruptions : int list;
+      (* armed result-corruption seeds, FIFO: a corruption fault arms one,
+         the next replica result computed consumes it *)
   mutable generation : int;
 }
 
@@ -20,6 +23,7 @@ let create ~cores ~chiplets ~nodes =
     core_online = Array.make cores true;
     link_mult = Array.make chiplets 1.0;
     xsocket_mult = 1.0;
+    corruptions = [];
     generation = 0;
   }
 
@@ -71,6 +75,24 @@ let set_xsocket_mult t mult =
   t.xsocket_mult <- Float.max 1.0 mult;
   touch t
 
+(* Result corruption is a one-shot register, not a persistent state: each
+   armed seed poisons exactly one subsequently computed result token
+   (seeded bit-flip, applied by the consumer).  FIFO so a schedule with
+   several corruption events replays deterministically. *)
+let arm_corruption t ~seed =
+  t.corruptions <- t.corruptions @ [ seed ];
+  touch t
+
+let take_corruption t =
+  match t.corruptions with
+  | [] -> None
+  | seed :: rest ->
+      t.corruptions <- rest;
+      touch t;
+      Some seed
+
+let corruptions_armed t = List.length t.corruptions
+
 let online_capacity t =
   let acc = ref 0.0 in
   for c = 0 to t.cores - 1 do
@@ -95,6 +117,7 @@ let chiplet_impaired t ~chiplet ~cores_per_chiplet =
 
 let pristine t =
   t.xsocket_mult = 1.0
+  && t.corruptions = []
   && Array.for_all (fun s -> s = 1.0) t.core_speed
   && Array.for_all Fun.id t.core_online
   && Array.for_all (fun m -> m = 1.0) t.link_mult
@@ -104,4 +127,5 @@ let reset t =
   Array.fill t.core_online 0 t.cores true;
   Array.fill t.link_mult 0 t.chiplets 1.0;
   t.xsocket_mult <- 1.0;
+  t.corruptions <- [];
   touch t

@@ -35,6 +35,20 @@ val xsocket_mult : t -> float
 
 val set_xsocket_mult : t -> float -> unit
 
+val arm_corruption : t -> seed:int -> unit
+(** Arm a one-shot result-corruption register: the next result token
+    computed through {!take_corruption} is bit-flipped with [seed].
+    Several armed corruptions queue FIFO, so a schedule with multiple
+    corruption events replays deterministically. *)
+
+val take_corruption : t -> int option
+(** Consume the oldest armed corruption seed, if any.  Called by the
+    replica layer when it derives a result token; a run without
+    replication simply never consumes armed seeds. *)
+
+val corruptions_armed : t -> int
+(** Number of armed, not-yet-consumed corruption seeds. *)
+
 val online_capacity : t -> float
 (** Machine-wide effective compute capacity in [0, 1]: mean over cores of
     [speed] for online cores (offline cores contribute 0).  The serving

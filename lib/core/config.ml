@@ -11,6 +11,8 @@ type t = {
   chiplet_first_steal : bool;
   decentralized : bool;
   prefer_big_cores : bool;
+  energy_weight : float;
+  power_cap_mw : float;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     chiplet_first_steal = true;
     decentralized = true;
     prefer_big_cores = true;
+    energy_weight = 0.0;
+    power_cap_mw = 0.0;
   }
 
 let validate t topo =
@@ -36,7 +40,11 @@ let validate t topo =
   if t.initial_spread < 1 || t.initial_spread > chiplets then
     invalid_arg "Config: initial_spread out of [1, chiplets]";
   if t.profiler_overhead_ns < 0.0 then
-    invalid_arg "Config: profiler_overhead_ns must be non-negative"
+    invalid_arg "Config: profiler_overhead_ns must be non-negative";
+  if t.energy_weight < 0.0 || not (Float.is_finite t.energy_weight) then
+    invalid_arg "Config: energy_weight must be finite and non-negative";
+  if t.power_cap_mw < 0.0 || not (Float.is_finite t.power_cap_mw) then
+    invalid_arg "Config: power_cap_mw must be finite and non-negative"
 
 let approach_to_string = function
   | Location_centric -> "location-centric"

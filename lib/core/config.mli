@@ -36,6 +36,17 @@ type t = {
       (** on heterogeneous topologies, fill the fastest chiplets first
           when placing gangs and break flee-target ties toward faster
           kinds; no effect on homogeneous machines *)
+  energy_weight : float;
+      (** EDP-aware placement: > 0 makes {!Policy} discount flee targets
+          by their kind's energy density (speed / (1 + w x density)) and
+          steer placement away from chiplets the power-cap controller
+          marks hot.  0 (the default) disables every energy influence on
+          placement, keeping decisions identical to pre-energy CHARM *)
+  power_cap_mw : float;
+      (** machine-level power cap in simulated milliwatts (1 pJ/ns =
+          1 mW); > 0 activates the {!Power_cap} controller, which sheds
+          DVFS on the hottest chiplet while the sliding-window power
+          estimate exceeds the cap.  0 (the default) = uncapped *)
 }
 
 val default : t

@@ -28,6 +28,10 @@ type t = {
   mutable s_skipped : int;
   mutable s_health_migrations : int;
   mutable health : (int -> bool) option;  (* chiplet -> currently sick? *)
+  mutable power_hot : (int -> bool) option;
+      (* chiplet -> throttled by the power-cap controller?  Only
+         consulted when energy_weight > 0, so capped-but-unweighted runs
+         place identically to pre-energy CHARM *)
   mutable on_migrate : worker:int -> old_core:int -> new_core:int -> unit;
   mutable on_spread_change :
     worker:int -> old_spread:int -> new_spread:int -> at_ns:float -> unit;
@@ -52,6 +56,7 @@ let create config machine controller profiler ~n_workers =
     s_skipped = 0;
     s_health_migrations = 0;
     health = None;
+    power_hot = None;
     on_migrate = (fun ~worker:_ ~old_core:_ ~new_core:_ -> ());
     on_spread_change =
       (fun ~worker:_ ~old_spread:_ ~new_spread:_ ~at_ns:_ -> ());
@@ -68,6 +73,17 @@ let spread_rate t ~worker = t.states.(worker).spread
 let set_health t f = t.health <- f
 let chiplet_sick t chiplet =
   match t.health with None -> false | Some sick -> sick chiplet
+
+let set_power_oracle t f = t.power_hot <- f
+
+let chiplet_hot t chiplet =
+  t.config.Config.energy_weight > 0.0
+  && match t.power_hot with None -> false | Some hot -> hot chiplet
+
+(* sick and hot chiplets get the same treatment: vetoed as targets, fled
+   when occupied — being throttled for power is operationally the same
+   signal as being throttled by a fault *)
+let chiplet_avoid t chiplet = chiplet_sick t chiplet || chiplet_hot t chiplet
 let set_on_migrate t f = t.on_migrate <- f
 let set_on_spread_change t f = t.on_spread_change <- f
 
@@ -94,10 +110,11 @@ let update_location t sched ~worker ~core =
   | None -> t.s_skipped <- t.s_skipped + 1
   | Some target when target = core -> ()
   | Some target
-    when chiplet_sick t (Topology.chiplet_of_core topo target)
-         && not (chiplet_sick t (Topology.chiplet_of_core topo core)) ->
-      (* health veto: never move a healthy worker onto a sick chiplet,
-         even when Alg. 2 nominates it — retried once the flag clears *)
+    when chiplet_avoid t (Topology.chiplet_of_core topo target)
+         && not (chiplet_avoid t (Topology.chiplet_of_core topo core)) ->
+      (* health/power veto: never move a clean worker onto a sick or
+         power-throttled chiplet, even when Alg. 2 nominates it —
+         retried once the flag clears *)
       t.s_skipped <- t.s_skipped + 1
   | Some target -> (
       match Engine.Sched.worker_of_core sched target with
@@ -114,13 +131,13 @@ let update_location t sched ~worker ~core =
    gang would sit on the degraded silicon forever. *)
 let flee_sick_chiplet t sched ~worker ~core =
   let topo = Machine.topology t.machine in
-  if chiplet_sick t (Topology.chiplet_of_core topo core) then begin
+  if chiplet_avoid t (Topology.chiplet_of_core topo core) then begin
     let cores = Topology.num_cores topo in
     let prefer_fast = t.config.Config.prefer_big_cores in
     let best = ref (-1) and best_rank = ref max_int and best_speed = ref 0.0 in
     for c = 0 to cores - 1 do
       if
-        (not (chiplet_sick t (Topology.chiplet_of_core topo c)))
+        (not (chiplet_avoid t (Topology.chiplet_of_core topo c)))
         && Engine.Sched.worker_of_core sched c = None
         && Modifiers.core_online (Machine.modifiers t.machine) c
       then begin
@@ -143,7 +160,23 @@ let flee_sick_chiplet t sched ~worker ~core =
           then r + 8
           else r
         in
-        let s = Topology.core_speed topo c in
+        let s =
+          let speed = Topology.core_speed topo c in
+          let w = t.config.Config.energy_weight in
+          if w > 0.0 then begin
+            (* EDP-aware score: discount a candidate by its kind's energy
+               density, so with rising energy_weight the policy trades
+               peak speed for efficient silicon (a little core's low
+               density can beat a big core's raw speed).  With w = 0 this
+               is exactly the PR-8 speed tie-break. *)
+            let density =
+              (Topology.spec_of_kind topo (Topology.kind_of_core topo c))
+                .Topology.energy_pj
+            in
+            speed /. (1.0 +. (w *. density))
+          end
+          else speed
+        in
         (* equal-distance candidates: prefer the faster kind (strict >, so
            homogeneous machines still pick the lowest-numbered core) *)
         if r < !best_rank || (r = !best_rank && prefer_fast && s > !best_speed)

@@ -33,6 +33,16 @@ val set_health : t -> (int -> bool) option -> unit
     on a sick chiplet flee to the nearest free healthy core at their next
     tick, and the controller threshold is halved for degraded workers. *)
 
+val set_power_oracle : t -> (int -> bool) option -> unit
+(** Install a [chiplet -> currently power-throttled] oracle (the
+    {!Power_cap} controller).  Only consulted when
+    [Config.energy_weight > 0]: hot chiplets then get the same treatment
+    as sick ones — vetoed as Alg. 2 targets and fled when occupied — and
+    flee candidates are scored EDP-style,
+    [speed / (1 + energy_weight x kind energy density)], trading peak
+    speed for efficient silicon.  With [energy_weight = 0] placement is
+    identical to pre-energy CHARM regardless of the oracle. *)
+
 val tick : t -> Engine.Sched.t -> worker:int -> unit
 (** Run one Alg. 1 evaluation for [worker] if its timer elapsed.  Intended
     as the scheduler's [on_quantum_end] hook.  Applies the migration via

@@ -10,6 +10,7 @@ type t = {
   policy : Policy.t;
   memory : Memory_manager.t;
   health : Health_monitor.t;
+  power_cap : Power_cap.t option;
   n_workers : int;
   mutable makespan : float;
 }
@@ -40,7 +41,25 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
   let policy = Policy.create config machine controller profiler ~n_workers in
   let memory = Memory_manager.create config machine ~n_workers in
   let health = Health_monitor.create machine ~n_workers in
+  (* any energy feature — a cap or EDP-weighted placement — needs the
+     per-quantum compute meters running; plain runs leave them off so the
+     energy-free baselines stay bit-identical *)
+  if config.Config.power_cap_mw > 0.0 || config.Config.energy_weight > 0.0 then
+    Sched.set_energy sched true;
+  let power_cap =
+    if config.Config.power_cap_mw > 0.0 then
+      Some
+        (Power_cap.create machine ~cap_mw:config.Config.power_cap_mw
+           ~sample_ns:config.Config.scheduler_timer_ns
+           ~window_ns:(10.0 *. config.Config.scheduler_timer_ns))
+    else None
+  in
   Policy.set_health policy (Some (fun chiplet -> Health_monitor.sick health ~chiplet));
+  (match power_cap with
+  | Some pc ->
+      Policy.set_power_oracle policy
+        (Some (fun chiplet -> Power_cap.throttled pc ~chiplet))
+  | None -> ());
   Policy.set_on_migrate policy (fun ~worker ~old_core ~new_core ->
       Memory_manager.on_migrate memory ~worker ~old_core ~new_core);
   (* initial memory bindings follow the initial placement *)
@@ -50,13 +69,40 @@ let init ?(config = Config.default) ?(sched_config = Sched.default_config)
   done;
   let t =
     { config; machine; sched; profiler; controller; policy; memory; health;
-      n_workers; makespan = 0.0 }
+      power_cap; n_workers; makespan = 0.0 }
   in
   let steal_rng = Engine.Rng.create 0x51ea1 in
   let hooks =
     {
       Sched.on_quantum_end =
         (fun sched worker ->
+          (* the power controller samples and actuates on its own virtual
+             cadence, independent of the profiler switch: a cap must hold
+             even in profiling-off ablations *)
+          (match power_cap with
+          | Some pc ->
+              let action =
+                Power_cap.tick pc ~now_ns:(Sched.worker_clock sched worker)
+              in
+              (match (action, Sched.trace sched) with
+              | Power_cap.Idle, _ | _, None -> ()
+              | action, Some tr when Engine.Trace.enabled tr ->
+                  let desc =
+                    match action with
+                    | Power_cap.Shed ch ->
+                        Printf.sprintf "power-cap: shed chiplet %d to %.2fx \
+                                        (%.0f mW over %g mW cap)"
+                          ch (Power_cap.level pc ~chiplet:ch)
+                          (Power_cap.power_mw pc) (Power_cap.cap_mw pc)
+                    | Power_cap.Release ch ->
+                        Printf.sprintf "power-cap: released chiplet %d to %.2fx"
+                          ch (Power_cap.level pc ~chiplet:ch)
+                    | Power_cap.Idle -> assert false
+                  in
+                  Engine.Trace.instant tr ~name:desc
+                    ~at_ns:(Sched.worker_clock sched worker)
+              | _ -> ())
+          | None -> ());
           if config.Config.profile_while_running then begin
             Sched.charge sched ~worker config.Config.profiler_overhead_ns;
             (* health first: the policy tick right after should already
@@ -117,6 +163,7 @@ let attach_trace t tr =
 let config t = t.config
 let n_workers t = t.n_workers
 let policy t = t.policy
+let power_cap t = t.power_cap
 let memory t = t.memory
 let profiler t = t.profiler
 let health t = t.health
@@ -138,7 +185,9 @@ let all_do t f =
   t.makespan <- Float.max t.makespan makespan;
   makespan
 
-let finalize t = Engine.Stats.collect t.machine ~makespan_ns:t.makespan
+let finalize t =
+  if Sched.check_enabled t.sched then Option.iter Power_cap.verify t.power_cap;
+  Engine.Stats.collect t.machine ~makespan_ns:t.makespan
 let last_makespan t = t.makespan
 let barrier t = Engine.Barrier.create t.n_workers
 

@@ -31,6 +31,14 @@ val policy : t -> Policy.t
 val memory : t -> Memory_manager.t
 val profiler : t -> Profiler.t
 
+val power_cap : t -> Power_cap.t option
+(** The power-cap controller, present iff [Config.power_cap_mw > 0].  It
+    ticks at every quantum end (before the profiler/policy hooks), sheds
+    DVFS on the hottest chiplet while the windowed power estimate exceeds
+    the cap, and — when [Config.energy_weight > 0] — serves as the
+    policy's hot-chiplet oracle.  {!finalize} runs {!Power_cap.verify}
+    on it when invariant checking is enabled. *)
+
 val health : t -> Health_monitor.t
 (** The degradation detector.  It is fed automatically at every quantum
     end (before the policy tick) and wired into the policy as its

@@ -39,6 +39,11 @@ type t = {
   config : config;
   mutable check : bool;  (* executable invariants on every quantum *)
   mutable check_tick : int;  (* quanta since the last periodic machine check *)
+  mutable energy : bool;
+      (* per-quantum compute-energy charging ({!Machine.charge_quantum}).
+         Off by default: energy never affects virtual time, but keeping
+         the meters untouched makes energy-off runs bit-identical to
+         pre-energy baselines *)
   core_last_end : float array;
       (* per core: virtual end of the last quantum it executed, and the
          worker that ran it — the per-core non-overlap invariant *)
@@ -364,6 +369,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) machine ~n_workers ~pl
     config;
     check = config.check;
     check_tick = 0;
+    energy = false;
     core_last_end = Array.make cores neg_infinity;
     core_last_worker = Array.make cores (-1);
     hooks;
@@ -397,6 +403,8 @@ let set_trace t trace = t.trace <- trace
 let trace t = t.trace
 let set_check t on = t.check <- on
 let check_enabled t = t.check
+let set_energy t on = t.energy <- on
+let energy_enabled t = t.energy
 let set_on_advance t f = t.on_advance <- f
 let worker_core t w = t.workers.(w).core
 let worker_clock t w = t.workers.(w).clock.(0)
@@ -806,12 +814,15 @@ let execute t w task =
      the task's forward progress per nanosecond drops with core speed. *)
   (* compose dynamic DVFS with the static kind speed: a little core's
      quantum runs proportionally longer, an accelerator tile's shorter *)
-  let speed =
-    Modifiers.core_speed (Machine.modifiers t.machine) w.core
-    *. Array.unsafe_get t.kind_speed w.core
-  in
+  let dvfs = Modifiers.core_speed (Machine.modifiers t.machine) w.core in
+  let speed = dvfs *. Array.unsafe_get t.kind_speed w.core in
   if speed <> 1.0 then
     w.clock.(0) <- quantum_start +. ((w.clock.(0) -. quantum_start) /. speed);
+  if t.energy then begin
+    let dt_ns = w.clock.(0) -. quantum_start in
+    if dt_ns > 0.0 then
+      Machine.charge_quantum t.machine ~core:w.core ~dt_ns ~dvfs
+  end;
   (match result with
   | Coroutine.Yielded ->
       (* remember the progress point: if a lagging thief later steals this

@@ -107,6 +107,17 @@ val set_check : t -> bool -> unit
 
 val check_enabled : t -> bool
 
+val set_energy : t -> bool -> unit
+(** Enable per-quantum compute-energy charging: at each quantum end the
+    retired virtual time is charged to the core's compute-energy meter
+    ({!Chipsim.Machine.charge_quantum}), scaled by its kind's power
+    density and the square of its DVFS factor.  Off by default — energy
+    accounting never affects virtual time, and leaving the meters
+    untouched keeps energy-off runs bit-identical to pre-energy
+    baselines. *)
+
+val energy_enabled : t -> bool
+
 val check_quiescent : t -> unit
 (** The end-of-run verification {!run} performs when checking is on: work
     conservation, empty deques once no task is live, and the machine's

@@ -19,6 +19,7 @@ type report = {
   dram_bytes_per_node : int array;
   avg_bandwidth_gbps : float;
   energy_uj : float;
+  compute_energy_uj : float;
 }
 
 let breakdown_of_pmu pmu =
@@ -50,6 +51,7 @@ let collect machine ~makespan_ns =
     avg_bandwidth_gbps =
       (if makespan_ns > 0.0 then float_of_int total_bytes /. makespan_ns else 0.0);
     energy_uj = Machine.total_energy_pj machine /. 1e6;
+    compute_energy_uj = Machine.total_compute_energy_pj machine /. 1e6;
   }
 
 let speedup ~baseline report =
@@ -64,8 +66,9 @@ let pp ppf r =
   Format.fprintf ppf
     "@[<v>makespan: %.0f ns@ l2=%d local=%d remote-chiplet=%d remote-numa=%d \
      dram=%d inval=%d@ tasks=%d stolen=%d migrations=%d switches=%d@ \
-     bandwidth=%.2f GB/s energy=%.1f uJ@]"
+     bandwidth=%.2f GB/s energy=%.1f uJ (mem) + %.1f uJ (compute) = %.1f uJ@]"
     r.makespan_ns r.accesses.l2_hits r.accesses.local_chiplet
     r.accesses.remote_chiplet r.accesses.remote_numa r.accesses.dram
     r.accesses.invalidations r.tasks_executed r.tasks_stolen r.migrations
-    r.context_switches r.avg_bandwidth_gbps r.energy_uj
+    r.context_switches r.avg_bandwidth_gbps r.energy_uj r.compute_energy_uj
+    (r.energy_uj +. r.compute_energy_uj)

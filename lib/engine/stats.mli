@@ -23,7 +23,15 @@ type report = {
       (** total DRAM bytes / makespan, in GB/s of virtual time *)
   energy_uj : float;
       (** total access energy charged by the per-kind energy table
-          ({!Chipsim.Machine.total_energy_pj}), in microjoules *)
+          ({!Chipsim.Machine.total_energy_pj}), in microjoules —
+          memory-access energy only, so PR-8 figures stay identical
+          whether per-quantum charging is on or off *)
+  compute_energy_uj : float;
+      (** total per-quantum compute energy
+          ({!Chipsim.Machine.total_compute_energy_pj}), in microjoules;
+          0 unless {!Sched.set_energy} enabled charging.  The machine's
+          whole energy story is [energy_uj +. compute_energy_uj], which
+          {!pp} prints alongside both parts *)
 }
 
 val collect : Machine.t -> makespan_ns:float -> report

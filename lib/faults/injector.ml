@@ -22,7 +22,8 @@ let apply_kind t ~at kind =
   | Schedule.Link { chiplet; mult } -> Modifiers.set_link_mult mods chiplet mult
   | Schedule.Xsocket m -> Modifiers.set_xsocket_mult mods m
   | Schedule.Membw { node; factor } ->
-      Machine.set_mem_capacity_factor machine ~node factor);
+      Machine.set_mem_capacity_factor machine ~node factor
+  | Schedule.Corruption { seed } -> Modifiers.arm_corruption mods ~seed);
   match Sched.trace t.sched with
   | Some tr when Trace.enabled tr ->
       Trace.fault tr ~desc:(Schedule.describe kind) ~at_ns:at

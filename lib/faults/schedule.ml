@@ -8,6 +8,7 @@ type kind =
   | Link of { chiplet : int; mult : float }
   | Xsocket of float
   | Membw of { node : int; factor : float }
+  | Corruption of { seed : int }
 
 type event = { at_ns : float; kind : kind }
 type t = event list
@@ -23,6 +24,7 @@ let describe = function
   | Xsocket m -> Printf.sprintf "xsocket -> x%.2f" m
   | Membw { node; factor } ->
       Printf.sprintf "membw node %d -> %.2fx" node factor
+  | Corruption { seed } -> Printf.sprintf "corrupt seed %d" seed
 
 let sort t =
   (* stable, so same-instant events keep their spec order *)
@@ -43,7 +45,8 @@ let to_spec t =
              Printf.sprintf "%g:link:%d:%g" us chiplet mult
          | Xsocket m -> Printf.sprintf "%g:xsocket:%g" us m
          | Membw { node; factor } ->
-             Printf.sprintf "%g:membw:%d:%g" us node factor)
+             Printf.sprintf "%g:membw:%d:%g" us node factor
+         | Corruption { seed } -> Printf.sprintf "%g:corrupt:%d" us seed)
        (sort t))
 
 (* -- spec parsing -------------------------------------------------------- *)
@@ -147,6 +150,9 @@ let parse_entry ~topo entry =
           if f <= 0.0 || f > 1.0 then
             fail "%s: capacity factor must be in (0, 1]" entry;
           one (Membw { node = nd; factor = f })
+      | [ "corrupt"; s ] ->
+          (* no range to check: the seed only picks which bit flips *)
+          one (Corruption { seed = int_field entry "seed" s })
       | kind :: _ -> fail "%s: unknown fault kind %S" entry kind
       | [] -> fail "%s: missing fault kind" entry)
   | [] -> fail "%s: empty entry" entry

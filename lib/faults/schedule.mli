@@ -12,6 +12,9 @@
     TIME_US:link:CHIPLET:MULT    multiply CHIPLET's I/O-die link latency
     TIME_US:xsocket:MULT         multiply cross-socket hop latency
     TIME_US:membw:NODE:FACTOR    throttle NODE's memory bandwidth (0..1]
+    TIME_US:corrupt:SEED         arm a one-shot result corruption (SEED
+                                 picks the flipped bit; see
+                                 {!Chipsim.Modifiers.arm_corruption})
     rand:SEED:N:HORIZON_US       N random events over [0, HORIZON_US)
     v}
 
@@ -29,6 +32,13 @@ type kind =
   | Link of { chiplet : int; mult : float }
   | Xsocket of float
   | Membw of { node : int; factor : float }
+  | Corruption of { seed : int }
+      (** arm a seeded one-shot result-token bit-flip, consumed by the
+          next replicated job result (silent data corruption; masked by
+          replica voting, fatal to unreplicated tenants only in the sense
+          that their token is poisoned — latency is unaffected).  Not in
+          {!random}'s pool: the scenario fuzzer injects these separately
+          so pre-existing seeds keep their schedules. *)
 
 type event = { at_ns : float; kind : kind }
 type t = event list

@@ -248,6 +248,16 @@ let run cfg =
     Array.of_list
       (List.map (fun (t : Server.tenant_config) -> t.Server.name) cfg.serve.Server.tenants)
   in
+  (* a replicated tenant's job is a co-scheduled unit: the whole group
+     lands on one shard (replicas spread over the shard's chiplets, not
+     across machines — voting needs one scheduler), and the router must
+     price the placement at the group's full service demand *)
+  let tenant_replicas =
+    Array.of_list
+      (List.map
+         (fun (t : Server.tenant_config) -> t.Server.replicas)
+         cfg.serve.Server.tenants)
+  in
   let shard_traces =
     Array.init n (fun s ->
         if cfg.trace then
@@ -358,7 +368,10 @@ let run cfg =
   (* place one job (fresh arrival or relocation) through the router *)
   let place ~now ~job_id ~tenant ~kind ~job_seed ~submit_ns ~from_shard =
     let tname = tenant_names.(tenant) in
-    let cost = Session.cost_estimate sessions.(0) kind in
+    let cost =
+      Session.cost_estimate sessions.(0) kind
+      *. float_of_int tenant_replicas.(tenant)
+    in
     let forced =
       (* planted routing bug: aim at a fully-offline shard when one
          exists, to prove the no-offline-placement invariant fires *)

@@ -220,14 +220,24 @@ let worker_chiplets ctx =
   in
   match hosted with [] -> None | l -> Some (Array.of_list l)
 
-let run_dag ctx d ~seed shape layers =
+let run_dag ctx d ~seed ?(rotate = 0) shape layers =
   let g = Taskgraph.Graph.generate ~shape ~layers ~seed () in
   let topo = Machine.topology (Sched.Ctx.machine ctx) in
   let policy =
     if d.cfg.dag_comm_aware then Taskgraph.Mapper.Comm_aware
     else Taskgraph.Mapper.Blind
   in
-  let m = Taskgraph.Mapper.map ?usable:(worker_chiplets ctx) topo ~policy g in
+  let usable =
+    match worker_chiplets ctx with
+    | Some a when rotate > 0 && Array.length a > 1 ->
+        (* replica ordinal: rotate the usable-chiplet preference so
+           redundant DAG executions map onto different silicon instead of
+           piling their nodes on the same chiplets *)
+        let n = Array.length a in
+        Some (Array.init n (fun i -> a.((i + rotate) mod n)))
+    | u -> u
+  in
+  let m = Taskgraph.Mapper.map ?usable topo ~policy g in
   let r = Taskgraph.Exec.run ~job_id:seed ctx m g in
   r.Taskgraph.Exec.nodes_run
 
@@ -250,3 +260,8 @@ let run ctx d ~seed kind =
       max 1 r.Olap.Tpch_queries.rows_out
   | Ycsb_batch n -> run_ycsb ctx d rng n
   | Dag (shape, layers) -> run_dag ctx d ~seed shape layers
+
+let run_replica ctx d ~seed ~replica kind =
+  match kind with
+  | Dag (shape, layers) -> run_dag ctx d ~seed ~rotate:replica shape layers
+  | _ -> run ctx d ~seed kind

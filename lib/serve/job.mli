@@ -64,3 +64,14 @@ val run : Engine.Sched.ctx -> data -> seed:int -> kind -> int
     (edges, updates, rows, transactions).
     @raise Invalid_argument on [Tpch q] with [q] outside [1..22] or
     non-positive batch sizes. *)
+
+val run_replica : Engine.Sched.ctx -> data -> seed:int -> replica:int -> kind -> int
+(** {!run} for the [replica]-th member of a replica group (0 = primary).
+    Identical to {!run} for every kind except [Dag], where the replica
+    ordinal rotates the usable-chiplet preference so redundant DAG
+    executions map their nodes onto different silicon. *)
+
+val worker_chiplets : Engine.Sched.ctx -> int array option
+(** Chiplets that currently host a scheduler worker ([None] if none was
+    found, leaving the caller its default).  DAG mapping and replica
+    placement restrict themselves to these. *)

@@ -11,6 +11,9 @@ type tenant_config = {
   process : Arrivals.process;
   jobs : int;
   mix : (Job.kind * int) list;
+  replicas : int;
+      (* 1 = plain execution; k > 1 runs every job k times on distinct
+         chiplets and votes on the result tokens (critical tenants) *)
 }
 
 type config = {
@@ -38,6 +41,7 @@ let default_config ~seed =
           process = open_loop 5000.0;
           jobs = 40;
           mix = [ (Job.Bfs, 2); (Job.Pagerank, 1) ];
+          replicas = 1;
         };
         {
           name = "olap";
@@ -46,6 +50,7 @@ let default_config ~seed =
           process = open_loop 5000.0;
           jobs = 40;
           mix = [ (Job.Tpch 1, 1); (Job.Tpch 3, 1); (Job.Tpch 6, 1) ];
+          replicas = 1;
         };
         {
           name = "oltp";
@@ -54,6 +59,7 @@ let default_config ~seed =
           process = open_loop 5000.0;
           jobs = 40;
           mix = [ (Job.Ycsb_batch 256, 2); (Job.Gups 4096, 1) ];
+          replicas = 1;
         };
       ];
     admission = Admission.default;
@@ -77,6 +83,9 @@ type tenant_report = {
   slo_violations : int;
   latency : Histogram.t;
   queue_wait : Histogram.t;
+  energy_uj : float;
+  replicas : int;
+  divergences : int;
 }
 
 type report = {
@@ -102,6 +111,10 @@ type tenant_state = {
   mutable slo_violations : int;
   lat_hist : Histogram.t;
   wait_hist : Histogram.t;
+  mutable energy_pj : float;
+      (** machine energy attributed to this tenant (completion-time delta
+          attribution; see [complete]) *)
+  mutable divergences : int;  (** replica groups whose tokens disagreed *)
 }
 
 type pending = {
@@ -139,7 +152,8 @@ let validate cfg =
       if t.jobs <= 0 then invalid_arg "Server.run: tenant jobs <= 0";
       if t.mix = [] then invalid_arg "Server.run: empty job mix";
       if List.exists (fun (_, w) -> w <= 0) t.mix then
-        invalid_arg "Server.run: non-positive mix weight")
+        invalid_arg "Server.run: non-positive mix weight";
+      if t.replicas < 1 then invalid_arg "Server.run: tenant replicas < 1")
     cfg.tenants
 
 (* End-of-run conservation: arrivals all accounted, every admitted job
@@ -192,6 +206,29 @@ let check_report ~registry ~fq tenants =
       (counter "serve.relocated_out")
       (sum (fun st -> st.relocated_out))
 
+(* Energy conservation: tenant attributions plus the overhead residual
+   must reproduce the machine's combined (memory + compute) energy growth
+   exactly — delta attribution guarantees it up to float re-association,
+   so the tolerance is 1e-6 relative, not a loose band. *)
+let check_energy ~machine ~base_energy_pj ~overhead_pj tenants =
+  let fail = Chipsim.Invariant.fail in
+  let attributed =
+    Array.fold_left (fun acc st -> acc +. st.energy_pj) 0.0 tenants
+  in
+  let growth = Machine.combined_energy_pj machine -. base_energy_pj in
+  let tol = 1e-6 *. Float.max 1.0 growth in
+  if Float.abs (attributed +. overhead_pj -. growth) > tol then
+    fail
+      "serve: %.1f pJ attributed + %.1f pJ overhead but the machine grew \
+       %.1f pJ"
+      attributed overhead_pj growth;
+  Array.iter
+    (fun st ->
+      if (not (Float.is_finite st.energy_pj)) || st.energy_pj < 0.0 then
+        fail "serve: tenant %s energy meter reads %g pJ" st.cfg_t.name
+          st.energy_pj)
+    tenants
+
 (* -- serving session ----------------------------------------------------
 
    All of the serving loop's mutable state, so a run can be driven two
@@ -216,6 +253,17 @@ type session = {
           reach this are left queued — epoch-driven callers use it to
           stop dispatch at the epoch boundary *)
   mutable makespan : float;
+  base_energy_pj : float;
+      (** machine combined energy when the session started (a reused
+          machine arrives with history; only growth is attributable) *)
+  mutable last_energy_pj : float;
+      (** high-water mark of attributed energy: the delta since the last
+          completion is charged to the tenant completing now, the
+          residual past the final completion lands in the overhead
+          bucket — so tenant + overhead = machine growth by
+          construction *)
+  mutable corruptions_consumed : int;
+      (** armed corruption seeds actually consumed by replica tokens *)
 }
 
 let create inst cfg =
@@ -254,6 +302,8 @@ let create inst cfg =
           slo_violations = 0;
           lat_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".latency_ns");
           wait_hist = Metrics.histogram registry ("tenant." ^ t.name ^ ".queue_wait_ns");
+          energy_pj = 0.0;
+          divergences = 0;
         })
       cfg.tenants
     |> Array.of_list
@@ -318,6 +368,9 @@ let create inst cfg =
     base_hooks;
     horizon = infinity;
     makespan = 0.0;
+    base_energy_pj = Machine.combined_energy_pj inst.Systems.machine;
+    last_energy_pj = Machine.combined_energy_pj inst.Systems.machine;
+    corruptions_consumed = 0;
   }
 
 let trace_job sess ~phase ~tenant ~kind ~job_id ~at_ns =
@@ -350,16 +403,123 @@ let rec pump sess ctx =
           Histogram.observe st.wait_hist (start_at -. p.submit_ns);
           trace_job sess ~phase:Engine.Trace.Start ~tenant:st.cfg_t.name
             ~kind:p.kind ~job_id:p.id ~at_ns:start_at;
-          ignore
-            (Future.spawn_at ctx ~at:start_at (fun ctx' ->
-                 let items = Job.run ctx' sess.data ~seed:p.job_seed p.kind in
-                 complete sess ctx' st p items)
-              : unit Future.t);
+          if st.cfg_t.replicas <= 1 then
+            ignore
+              (Future.spawn_at ctx ~at:start_at (fun ctx' ->
+                   let items = Job.run ctx' sess.data ~seed:p.job_seed p.kind in
+                   complete sess ctx' st p items)
+                : unit Future.t)
+          else dispatch_replicated sess ctx st p ~start_at;
           pump sess ctx
         end
 
+(* Replicated dispatch: the group occupies ONE inflight slot and
+   completes once, when its last replica finishes — admission, fair
+   queueing and latency see one job, redundancy is purely an execution
+   concern.  Replicas pin to distinct chiplets ({!Replica.placement}), so
+   a per-chiplet fault or a power-throttled hot chiplet degrades at most
+   one vote. *)
+and dispatch_replicated sess ctx st p ~start_at =
+  let sched = Sched.Ctx.sched ctx in
+  let topo = Machine.topology sess.inst.Systems.machine in
+  let group =
+    match Job.worker_chiplets ctx with
+    | Some chiplets ->
+        Replica.placement ~chiplets ~job_id:p.id ~replicas:st.cfg_t.replicas
+    | None -> [| 0 |]
+  in
+  let k = Array.length group in
+  let tokens = Array.make k 0L in
+  let primary_items = ref 0 in
+  let remaining = ref k in
+  (* one armed corruption poisons one group; the victim replica index is
+     derived from the seed, not from execution order, so a given fault
+     spec always corrupts the same replica — tests and the planted-bug
+     gate rely on [corrupt:SEED] with [SEED mod k = 0] hitting the
+     primary *)
+  let corrupt_at =
+    match
+      Chipsim.Modifiers.take_corruption
+        (Machine.modifiers sess.inst.Systems.machine)
+    with
+    | Some seed ->
+        sess.corruptions_consumed <- sess.corruptions_consumed + 1;
+        Metrics.incr sess.registry "serve.replica.corruptions";
+        Some (abs seed mod k, seed)
+    | None -> None
+  in
+  let corrupted = match corrupt_at with Some _ -> 1 | None -> 0 in
+  Metrics.incr sess.registry "serve.replica.groups";
+  Array.iteri
+    (fun r chiplet ->
+      let worker = Replica.worker_on sched topo ~chiplet in
+      ignore
+        (Future.spawn_at ctx ?worker ~at:start_at (fun ctx' ->
+             let items =
+               Job.run_replica ctx' sess.data ~seed:p.job_seed ~replica:r p.kind
+             in
+             (* metrics count the primary's work; redundant items are
+                overhead, not service *)
+             if r = 0 then primary_items := items;
+             let tok =
+               Replica.token ~job_seed:p.job_seed ~kind:(Job.kind_name p.kind)
+             in
+             let tok =
+               match corrupt_at with
+               | Some (victim, seed) when victim = r -> Replica.corrupt tok ~seed
+               | _ -> tok
+             in
+             tokens.(r) <- tok;
+             decr remaining;
+             if !remaining = 0 then
+               finish_group sess ctx' st p ~tokens ~corrupted
+                 ~items:!primary_items)
+          : unit Future.t))
+    group
+
+and finish_group sess ctx st p ~tokens ~corrupted ~items =
+  let voted = Replica.vote tokens in
+  if not (Replica.unanimous tokens) then begin
+    st.divergences <- st.divergences + 1;
+    Metrics.incr sess.registry "serve.replica.divergent";
+    if Int64.equal voted (Replica.majority tokens) then
+      Metrics.incr sess.registry "serve.replica.masked";
+    match sess.cfg.trace with
+    | Some tr when Engine.Trace.enabled tr ->
+        Engine.Trace.instant tr
+          ~name:
+            (Printf.sprintf
+               "replica divergence: tenant %s job %d (%d of %d corrupted)"
+               st.cfg_t.name p.id corrupted (Array.length tokens))
+          ~at_ns:(Sched.Ctx.now ctx)
+    | _ -> ()
+  end;
+  if sess.cfg.check then begin
+    (* replica-agreement invariants (Check.Invariants): the voted result
+       must match the honest plurality — the vote-skip plant trips this
+       whenever replica 0 holds the poisoned minority token — and
+       divergence is impossible without an injected corruption *)
+    if not (Int64.equal voted (Replica.majority tokens)) then
+      Chipsim.Invariant.fail
+        "serve: tenant %s job %d voted token %Lx but the plurality is %Lx"
+        st.cfg_t.name p.id voted (Replica.majority tokens);
+    if corrupted = 0 && not (Replica.unanimous tokens) then
+      Chipsim.Invariant.fail
+        "serve: tenant %s job %d replicas diverged without injected corruption"
+        st.cfg_t.name p.id
+  end;
+  complete sess ctx st p items
+
 and complete sess ctx st p items =
   let fin = Sched.Ctx.now ctx in
+  (* completion-time delta attribution: whatever the machine's combined
+     energy meter grew since the last completion is charged to the tenant
+     completing now.  Coarse (concurrent jobs blur into each other) but
+     exactly conservative: tenant shares + the end-of-run overhead
+     residual sum to the machine's growth by construction *)
+  let e = Machine.combined_energy_pj sess.inst.Systems.machine in
+  st.energy_pj <- st.energy_pj +. (e -. sess.last_energy_pj);
+  sess.last_energy_pj <- e;
   let latency = fin -. p.submit_ns in
   trace_job sess ~phase:Engine.Trace.Finish ~tenant:st.cfg_t.name ~kind:p.kind
     ~job_id:p.id ~at_ns:fin;
@@ -524,9 +684,12 @@ let queued_cost sess =
         in
         num /. float_of_int den
       in
+      (* a replicated tenant's queued job will run [replicas] times *)
       total :=
         !total
-        +. (float_of_int (Fair_queue.tenant_depth sess.fq ~tenant:st.idx) *. mean_cost))
+        +. (float_of_int (Fair_queue.tenant_depth sess.fq ~tenant:st.idx)
+           *. mean_cost
+           *. float_of_int st.cfg_t.replicas))
     sess.tenants;
   !total
 
@@ -567,6 +730,21 @@ let finish sess =
   Metrics.incr sess.registry ~by:acc.Engine.Stats.remote_numa "fills.remote_numa";
   Metrics.incr sess.registry ~by:acc.Engine.Stats.dram "fills.dram";
   Metrics.set_gauge sess.registry "serve.makespan_ns" sess.makespan;
+  (* energy: growth not claimed by any completion (startup, idle spin,
+     trailing work past the last completion) is the overhead residual *)
+  let machine = sess.inst.Systems.machine in
+  let final_e = Machine.combined_energy_pj machine in
+  let overhead_pj = final_e -. sess.last_energy_pj in
+  Metrics.set_gauge sess.registry "serve.energy_uj"
+    ((final_e -. sess.base_energy_pj) /. 1e6);
+  Metrics.set_gauge sess.registry "serve.energy_overhead_uj"
+    (overhead_pj /. 1e6);
+  Array.iter
+    (fun st ->
+      Metrics.set_gauge sess.registry
+        ("tenant." ^ st.cfg_t.name ^ ".energy_uj")
+        (st.energy_pj /. 1e6))
+    sess.tenants;
   let tenant_reports =
     Array.to_list sess.tenants
     |> List.map (fun st ->
@@ -582,10 +760,16 @@ let finish sess =
              slo_violations = st.slo_violations;
              latency = st.lat_hist;
              queue_wait = st.wait_hist;
+             energy_uj = st.energy_pj /. 1e6;
+             replicas = st.cfg_t.replicas;
+             divergences = st.divergences;
            })
   in
-  if sess.cfg.check then
+  if sess.cfg.check then begin
     check_report ~registry:sess.registry ~fq:sess.fq sess.tenants;
+    check_energy ~machine ~base_energy_pj:sess.base_energy_pj ~overhead_pj
+      sess.tenants
+  end;
   {
     makespan_ns = sess.makespan;
     tenant_reports;
@@ -710,6 +894,17 @@ let report_to_json r =
         ("slo_violations", string_of_int tr.slo_violations);
         ("latency_ns", Metrics.json_of_histogram tr.latency);
         ("queue_wait_ns", Metrics.json_of_histogram tr.queue_wait);
+        ("energy_uj", f tr.energy_uj);
+        ("replicas", string_of_int tr.replicas);
+        ("divergences", string_of_int tr.divergences);
+      ]
+  in
+  let energy =
+    obj
+      [
+        ("total_uj", f (Metrics.gauge_value r.registry "serve.energy_uj"));
+        ( "overhead_uj",
+          f (Metrics.gauge_value r.registry "serve.energy_overhead_uj") );
       ]
   in
   let admission =
@@ -728,6 +923,7 @@ let report_to_json r =
     [
       ("makespan_ns", f r.makespan_ns);
       ("admission", admission);
+      ("energy", energy);
       ("fills", fills);
       ( "tenants",
         "[" ^ String.concat "," (List.map tenant r.tenant_reports) ^ "]" );

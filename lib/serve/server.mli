@@ -28,6 +28,13 @@ type tenant_config = {
   process : Arrivals.process;
   jobs : int;  (** total jobs this tenant submits *)
   mix : (Job.kind * int) list;  (** kinds with relative weights *)
+  replicas : int;
+      (** run each job this many times on distinct chiplets and vote on
+          the result tokens ({!Replica}); 1 = no redundancy.  A replica
+          group occupies one inflight slot and completes once (when its
+          last replica finishes), so admission and latency see one job.
+          Requested degrees beyond the machine's worker-hosting chiplet
+          count are clamped. *)
 }
 
 type config = {
@@ -79,6 +86,18 @@ type tenant_report = {
   slo_violations : int;
   latency : Histogram.t;  (** sojourn time: completion - arrival, ns *)
   queue_wait : Histogram.t;  (** dispatch - arrival, ns *)
+  energy_uj : float;
+      (** machine energy (memory + compute) attributed to this tenant by
+          completion-time delta attribution; 0 unless energy accounting
+          is on ({!Engine.Sched.set_energy} — memory energy accrues
+          regardless, so this can be nonzero even without [--energy]).
+          Growth not claimed by any completion lands in the registry
+          gauge [serve.energy_overhead_uj]; tenant shares + overhead =
+          machine growth exactly (checked under [check]) *)
+  replicas : int;  (** configured redundancy degree *)
+  divergences : int;
+      (** replica groups whose tokens were not unanimous (equals injected
+          corruptions consumed, absent a voting bug) *)
 }
 
 type report = {

@@ -37,6 +37,19 @@ let parse_tenant spec =
       err "bad tenant spec %S: want NAME:WEIGHT:KIND+KIND (e.g. gold:2:bfs+tpch:3)"
         spec
 
+let parse_replication spec =
+  match String.rindex_opt spec ':' with
+  | Some i when i > 0 && i < String.length spec - 1 -> (
+      let name = String.sub spec 0 i in
+      let k_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt k_s with
+      | None ->
+          err "bad --replicate spec %S: degree %S is not an integer" spec k_s
+      | Some k when k < 1 ->
+          err "bad --replicate spec %S: degree %d must be >= 1" spec k
+      | Some k -> Ok (name, k))
+  | _ -> err "bad --replicate spec %S: want NAME:DEGREE (e.g. gold:3)" spec
+
 let parse_shard_machines ?fallback ~machines spec =
   let names = String.split_on_char ',' spec in
   let rec resolve acc = function

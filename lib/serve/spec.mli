@@ -12,6 +12,12 @@ val parse_tenant :
     [dag:inception:3] — shape then layer count, both optional:
     [dag] ≡ [dag:chain:6]).  Each kind gets mix weight 1. *)
 
+val parse_replication : string -> (string * int, string) result
+(** Parse a ["NAME:DEGREE"] replication spec ([--replicate]); the name is
+    matched against configured tenants by the caller.  Degree must be a
+    positive integer (splits on the {e last} [':'], so tenant names with
+    colons survive). *)
+
 val parse_shard_machines :
   ?fallback:(string -> ('a, string) result) ->
   machines:(string * 'a) list ->

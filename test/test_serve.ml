@@ -140,6 +140,7 @@ let test_server_sheds_at_bound () =
       process = Arrivals.Open_loop { rate_per_s = 1e9 };
       jobs = 30;
       mix = [ (Serving.Job.Gups 512, 1) ];
+      replicas = 1;
     }
   in
   let cfg =

@@ -316,6 +316,7 @@ let test_olap_serving_avoids_accel () =
       process = Serving.Arrivals.Open_loop { rate_per_s = 3000.0 };
       jobs = 12;
       mix;
+      replicas = 1;
     }
   in
   let cfg =

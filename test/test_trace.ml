@@ -281,6 +281,7 @@ let serve_trace seed =
             process = Serving.Arrivals.Open_loop { rate_per_s = 20_000.0 };
             jobs = 8;
             mix = [ (Serving.Job.Gups 2048, 1) ];
+            replicas = 1;
           };
         ];
       data = { Serving.Job.default_data_config with graph_scale = 8 };
